@@ -1,0 +1,140 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* ILP vs greedy vs branch-and-bound schedule quality (frequencies chosen),
+* pulse-filter threshold sensitivity of the detection ranges,
+* monitor coverage fraction (10/25/50 %) and delay-set granularity.
+
+Each ablation writes its comparison table to ``results/``.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.core import FlowConfig, HdfTestFlow
+from repro.circuits.library import suite_circuit
+from repro.experiments.reporting import format_table
+from repro.faults.detection import compute_detection_data
+from repro.scheduling.baselines import heuristic_schedule, proposed_schedule
+
+
+def test_ablation_solver_quality(suite_results, results_dir, benchmark):
+    """ILP vs greedy: selected frequency count and schedule size."""
+    rows = []
+    for name, res in suite_results.items():
+        heur = res.schedules["heur"]
+        prop = res.schedules["prop"]
+        rows.append({
+            "circuit": name,
+            "freq_greedy": heur.num_frequencies,
+            "freq_ilp": prop.num_frequencies,
+            "entries_greedy": heur.num_entries,
+            "entries_ilp": prop.num_entries,
+        })
+    text = format_table(rows, title="Ablation — greedy vs ILP set covering")
+    write_artifact(results_dir, "ablation_solver.txt", text)
+    print("\n" + text)
+    for row in rows:
+        assert row["freq_ilp"] <= row["freq_greedy"]
+
+    res = next(iter(suite_results.values()))
+    benchmark.pedantic(
+        lambda: heuristic_schedule(res.data, res.classification, res.clock,
+                                   res.configs),
+        rounds=2, iterations=1)
+
+
+def test_ablation_pulse_filter_threshold(results_dir, benchmark):
+    """Detection-range sensitivity to the glitch-filter threshold."""
+    circuit = suite_circuit("s9234", scale=0.5)
+    cfg = FlowConfig(pattern_cap=10)
+    base = HdfTestFlow(circuit, cfg).run(with_schedules=False)
+    faults = base.data.faults
+    patterns = base.test_set
+
+    rows = []
+    for threshold in (0.0, 2.0, 5.0, 10.0, 20.0):
+        data = compute_detection_data(
+            circuit, faults, patterns, horizon=base.clock.t_nom,
+            monitored_gates=base.placement.monitored_gates,
+            glitch_threshold=threshold)
+        total = sum(data.union_all(fi).measure for fi in data.ranges)
+        rows.append({
+            "threshold_ps": threshold,
+            "faults_with_ranges": len(data.ranges),
+            "total_range_ps": round(total, 1),
+        })
+    text = format_table(rows, title="Ablation — pulse filter threshold")
+    write_artifact(results_dir, "ablation_pulse_filter.txt", text)
+    print("\n" + text)
+
+    # Pessimistic filtering only removes detection opportunities.
+    counts = [r["faults_with_ranges"] for r in rows]
+    assert counts == sorted(counts, reverse=True)
+
+    benchmark.pedantic(
+        lambda: compute_detection_data(
+            circuit, faults[:80], patterns, horizon=base.clock.t_nom,
+            monitored_gates=base.placement.monitored_gates),
+        rounds=2, iterations=1)
+
+
+def test_ablation_monitor_fraction(results_dir, benchmark):
+    """HDF gain at 10/25/50 % monitor coverage (paper fixes 25 %)."""
+    rows = []
+    for fraction in (0.10, 0.25, 0.50):
+        circuit = suite_circuit("s13207", scale=0.5)
+        cfg = FlowConfig(monitor_fraction=fraction, pattern_cap=12)
+        res = HdfTestFlow(circuit, cfg).run(with_schedules=False)
+        rows.append({
+            "fraction": f"{fraction:.0%}",
+            "monitors": res.placement.count,
+            "conv": res.conv_hdf_detected,
+            "prop": res.prop_hdf_detected,
+            "gain_%": round(res.gain_percent, 1),
+        })
+    text = format_table(rows, title="Ablation — monitor coverage fraction")
+    write_artifact(results_dir, "ablation_monitor_fraction.txt", text)
+    print("\n" + text)
+
+    gains = [r["gain_%"] for r in rows]
+    assert gains == sorted(gains)  # more monitors, more recovered faults
+
+    benchmark.pedantic(
+        lambda: HdfTestFlow(
+            suite_circuit("s13207", scale=0.4),
+            FlowConfig(monitor_fraction=0.25, pattern_cap=8),
+        ).run(with_schedules=False),
+        rounds=1, iterations=1)
+
+
+def test_ablation_delay_set_granularity(results_dir, benchmark):
+    """Two vs four vs six delay elements per monitor."""
+    variants = {
+        "2 elements": (0.15, 1 / 3),
+        "4 (paper)": (0.05, 0.10, 0.15, 1 / 3),
+        "6 elements": (0.05, 0.10, 0.15, 0.20, 0.25, 1 / 3),
+    }
+    def run_variant(delays):
+        circuit = suite_circuit("s13207", scale=0.5)
+        cfg = FlowConfig(monitor_delay_fractions=delays, pattern_cap=12)
+        return HdfTestFlow(circuit, cfg).run(with_schedules=False)
+
+    rows = []
+    for label, delays in variants.items():
+        if label == "4 (paper)":
+            # The paper's configuration is the timed reference point.
+            res = benchmark.pedantic(run_variant, args=(delays,),
+                                     rounds=1, iterations=1)
+        else:
+            res = run_variant(delays)
+        rows.append({
+            "delay_set": label,
+            "prop": res.prop_hdf_detected,
+            "monitor_at_speed": len(res.classification.monitor_at_speed),
+            "targets": res.num_target_faults,
+        })
+    text = format_table(rows, title="Ablation — delay element granularity")
+    write_artifact(results_dir, "ablation_delay_set.txt", text)
+    print("\n" + text)
+    assert rows[1]["prop"] >= rows[0]["prop"] - 2  # richer set never worse

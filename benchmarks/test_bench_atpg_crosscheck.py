@@ -1,0 +1,51 @@
+"""Verification benchmark: PODEM vs D-algorithm testability cross-check.
+
+Two independently implemented ATPG engines run over the output-pin
+stuck-at corpus of several circuits.  The hard invariant: PODEM (the
+engine the flow uses) never proves a D-alg-testable fault untestable.
+The artifact records agreement statistics per circuit.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.atpg.dalg import cross_check_testability
+from repro.circuits.generators import CircuitProfile, generate_circuit
+from repro.circuits.library import embedded_circuit
+from repro.experiments.reporting import format_table
+from repro.faults.models import StuckAtFault
+from repro.faults.universe import fault_sites
+
+
+def _corpus():
+    yield embedded_circuit("c17")
+    yield embedded_circuit("s27")
+    for seed in (0, 3, 5):
+        yield generate_circuit(CircuitProfile(
+            name=f"cc{seed}", n_gates=40, n_ffs=8, n_inputs=6,
+            n_outputs=3, depth=6, seed=seed, long_edge_prob=0.5))
+
+
+def test_atpg_cross_check(benchmark, results_dir):
+    def run():
+        rows = []
+        for circuit in _corpus():
+            faults = [StuckAtFault(s, v) for s in fault_sites(circuit)
+                      if s.is_output_pin for v in (0, 1)]
+            counts = cross_check_testability(circuit, faults)
+            counts["circuit"] = circuit.name
+            rows.append(counts)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    cols = ["circuit", "agree", "podem_miss", "dalg_miss", "aborted"]
+    text = format_table(rows, columns=cols,
+                        title="ATPG cross-check — PODEM vs D-algorithm "
+                              "(output-pin stuck-at corpus)")
+    write_artifact(results_dir, "atpg_crosscheck.txt", text)
+    print("\n" + text)
+
+    for row in rows:
+        assert row["podem_miss"] == 0, row
+        assert row["agree"] > 0

@@ -1,0 +1,53 @@
+"""Extension benchmark: failing-signature diagnosis quality and speed.
+
+Injects target HDFs, collects the FAST failing signature under the
+optimized schedule and ranks candidates; reports the diagnostic resolution
+(rank of the injected fault) and times the matching stage.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.diagnosis.ranking import diagnose, resolution
+from repro.diagnosis.signature import collect_signature
+from repro.experiments.reporting import format_table
+
+
+def test_diagnosis_resolution(benchmark, suite_results, results_dir):
+    res = next(iter(suite_results.values()))
+    injected = sorted(res.classification.target)[:8]
+    signatures = {
+        fi: collect_signature(res, res.data.faults[fi])
+        for fi in injected
+    }
+
+    def rank_all():
+        return {
+            fi: diagnose(res.data, res.configs, sig, max_results=10)
+            for fi, sig in signatures.items()
+        }
+
+    ranked = benchmark(rank_all)
+
+    rows = []
+    located = 0
+    for fi in injected:
+        r = resolution(ranked[fi], fi)
+        located += r is not None
+        rows.append({
+            "injected": res.data.faults[fi].describe(res.circuit),
+            "failures": len(signatures[fi].failing),
+            "rank": r if r is not None else "-",
+            "top_score": round(ranked[fi][0].score, 2) if ranked[fi] else "-",
+        })
+    text = format_table(rows, title=f"Diagnosis resolution "
+                                    f"({res.circuit.name}, proposed schedule)")
+    write_artifact(results_dir, "diagnosis.txt", text)
+    print("\n" + text)
+
+    # Most injected faults are located; equivalence classes can hide some.
+    assert located >= max(1, len(injected) // 2)
+    first_ranks = [resolution(ranked[fi], fi) for fi in injected]
+    good = [r for r in first_ranks if r is not None]
+    assert min(good) <= 2

@@ -1,0 +1,79 @@
+"""Benchmark of the observation-time discretization (Fig. 5, Sec. IV-A).
+
+Times the discretization over the real per-fault detection ranges of a
+suite circuit, and regenerates the Fig. 5 worked example as an artifact.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.experiments.reporting import format_table
+from repro.scheduling.discretize import discretize_observation_times
+from repro.scheduling.schedule import target_ranges
+from repro.utils.intervals import IntervalSet
+
+
+def test_fig5_example_regenerate(benchmark, results_dir):
+    ranges = {
+        "phi1": IntervalSet.single(1.0, 4.0),
+        "phi2": IntervalSet.single(3.0, 7.0),
+        "phi3": IntervalSet.single(6.0, 9.0),
+    }
+    cands = benchmark(discretize_observation_times, ranges, 0.0, 10.0,
+                      prune_dominated=False)
+    rows = [
+        {
+            "segment": f"[{c.segment.lo:g}, {c.segment.hi:g}]",
+            "midpoint": c.time,
+            "faults": ", ".join(sorted(c.faults)),
+            "count": c.fault_count,
+        }
+        for c in cands
+    ]
+    text = format_table(rows, title="Fig. 5 — observation time discretization")
+    write_artifact(results_dir, "fig5.txt", text)
+    print("\n" + text)
+
+    # The representative intervals T0 and T1 of the paper's example.
+    two_fault = [c for c in cands if c.fault_count == 2]
+    assert len(two_fault) == 2
+    assert two_fault[0].time == 3.5 and two_fault[1].time == 6.5
+
+
+def test_discretization_stage(benchmark, suite_results):
+    res = max(suite_results.values(),
+              key=lambda r: len(r.classification.target))
+    ranges = target_ranges(res.data, res.classification.target, res.clock,
+                           res.configs)
+
+    def stage():
+        return discretize_observation_times(ranges, res.clock.t_min,
+                                            res.clock.t_nom)
+
+    cands = benchmark(stage)
+    assert cands
+    covered = set().union(*(c.faults for c in cands))
+    assert covered == set(ranges)
+
+
+def test_dominance_pruning_ablation(benchmark, suite_results, results_dir):
+    """Ablation: candidate count with and without dominance pruning."""
+    res = max(suite_results.values(),
+              key=lambda r: len(r.classification.target))
+    ranges = target_ranges(res.data, res.classification.target, res.clock,
+                           res.configs)
+    raw = discretize_observation_times(ranges, res.clock.t_min,
+                                       res.clock.t_nom,
+                                       prune_dominated=False)
+    pruned = benchmark(discretize_observation_times, ranges,
+                       res.clock.t_min, res.clock.t_nom)
+    text = format_table([{
+        "circuit": res.circuit.name,
+        "segments_raw": len(raw),
+        "segments_pruned": len(pruned),
+        "reduction_%": round(100 * (1 - len(pruned) / max(1, len(raw))), 1),
+    }], title="Ablation — dominance pruning of period candidates")
+    write_artifact(results_dir, "ablation_discretize.txt", text)
+    print("\n" + text)
+    assert len(pruned) <= len(raw)

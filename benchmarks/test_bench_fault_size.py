@@ -1,0 +1,34 @@
+"""Ablation benchmark: fault-size (δ = nσ) sensitivity.
+
+Regenerates the fault-population breakdown across fault sizes and asserts
+the transition-region shape that justifies the paper's δ = 6σ choice.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.experiments.fault_size import fault_size_sweep
+from repro.experiments.reporting import format_table
+
+
+def test_fault_size_sweep(benchmark, results_dir):
+    points = benchmark.pedantic(
+        lambda: fault_size_sweep("s13207", n_sigmas=(2.0, 4.0, 6.0, 8.0, 12.0),
+                                 scale=0.5, pattern_cap=14),
+        rounds=1, iterations=1)
+
+    rows = [p.row() for p in points]
+    text = format_table(rows, title="Ablation — fault size δ = n·σ "
+                                    "(σ = 20% nominal gate delay)")
+    write_artifact(results_dir, "ablation_fault_size.txt", text)
+    print("\n" + text)
+
+    at_speed = [p.at_speed_total for p in points]
+    assert at_speed == sorted(at_speed), "at-speed class must grow with δ"
+    assert points[0].at_speed_total < points[-1].at_speed_total
+    # The monitor gain is largest for the *smallest* faults: tiny marginal
+    # delays are exactly the population only monitors can recover — the
+    # paper's early-life failure story in one column.
+    gains = [p.gain_percent for p in points]
+    assert gains == sorted(gains, reverse=True)

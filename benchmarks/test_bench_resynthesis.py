@@ -1,0 +1,32 @@
+"""Ablation benchmark: netlist structure vs. monitor gain (resynthesis).
+
+Functionally identical variants of one suite circuit (original /
+2-input-decomposed / fanout-buffered) replayed through the flow; the
+Table-I columns differ only because the path-delay population differs.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.experiments.reporting import format_table
+from repro.experiments.resynthesis import resynthesis_comparison
+
+
+def test_resynthesis_ablation(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: resynthesis_comparison("s13207", scale=0.5, pattern_cap=14),
+        rounds=1, iterations=1)
+
+    cols = ["variant", "gates", "depth", "clk_ps", "conv", "prop",
+            "gain_percent", "targets"]
+    text = format_table(rows, columns=cols,
+                        title="Ablation — resynthesis variants of one "
+                              "function")
+    write_artifact(results_dir, "ablation_resynthesis.txt", text)
+    print("\n" + text)
+
+    original, decomposed, buffered = rows
+    assert decomposed["depth"] >= original["depth"]
+    for r in rows:
+        assert r["prop"] >= r["conv"]

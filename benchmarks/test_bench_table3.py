@@ -1,0 +1,54 @@
+"""Benchmark + regeneration of Table III (relaxed coverage targets).
+
+Regenerates, per circuit and coverage target cov ∈ {99, 98, 95, 90} %, the
+required frequency count |F_cov|, the naïve pattern-config volume |PC_cov|,
+the optimized schedule |S_cov| and the reduction Δ% — and asserts the
+paper's monotonicity: lower targets need fewer frequencies and smaller
+schedules.  The benchmark times the partial-coverage ILP, which carries
+the extra indicator variables of Sec. IV-C's relaxation.
+"""
+
+from __future__ import annotations
+
+from conftest import write_artifact
+
+from repro.experiments.reporting import format_table
+from repro.scheduling.baselines import proposed_schedule
+
+
+def test_table3_regenerate(benchmark, suite_results, results_dir):
+    rows = benchmark(lambda: [res.table3_row()
+                              for res in suite_results.values()])
+    text = format_table(rows, title="Table III — test time reduction at "
+                                    "relaxed HDF coverage targets")
+    write_artifact(results_dir, "table3.txt", text)
+    print("\n" + text)
+
+    for row in rows:
+        assert row["F_90"] <= row["F_95"] <= row["F_98"] <= row["F_99"]
+        # Schedule size is only *approximately* monotone in the coverage
+        # target: squeezing the same faults into fewer frequencies can cost
+        # a couple of extra pattern-config entries.  The trend must hold.
+        assert row["S_90"] <= row["S_99"] + 2
+        for tag in ("99", "98", "95", "90"):
+            assert row[f"S_{tag}"] <= row[f"PC_{tag}"]
+
+    # Paper shape: at cov = 99 % the frequency count drops clearly below
+    # the full-coverage requirement for most circuits.
+    fulls = [res.schedules["prop"].num_frequencies
+             for res in suite_results.values()]
+    relaxed = [row["F_99"] for row in rows]
+    assert sum(r <= f for r, f in zip(relaxed, fulls)) == len(rows)
+
+
+def test_table3_partial_cover_ilp_stage(benchmark, suite_results):
+    """Time the partial-coverage ILP (cov = 95 %) for one circuit."""
+    res = max(suite_results.values(),
+              key=lambda r: len(r.classification.target))
+
+    def stage():
+        return proposed_schedule(res.data, res.classification, res.clock,
+                                 res.configs, coverage=0.95)
+
+    sched = benchmark.pedantic(stage, rounds=3, iterations=1)
+    assert sched.coverage >= 0.95 - 1e-9

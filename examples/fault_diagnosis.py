@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fault diagnosis from FAST failing signatures.
+
+Injects hidden delay faults into a device, applies the optimized FAST
+schedule, records which (frequency, pattern, configuration) applications
+fail, and ranks candidate defects by signature consistency — the
+failing-frequency-signature analysis the paper cites as [11], built on the
+detection ranges the flow already computed.
+
+Run:  python examples/fault_diagnosis.py
+"""
+
+from repro import FlowConfig, HdfTestFlow
+from repro.circuits import CircuitProfile, generate_circuit
+from repro.diagnosis import collect_signature, diagnose
+from repro.diagnosis.ranking import resolution
+
+
+def main() -> None:
+    profile = CircuitProfile(name="diagdemo", n_gates=80, n_ffs=16,
+                             n_inputs=10, n_outputs=6, depth=8, seed=9,
+                             endpoint_side_gates=1)
+    circuit = generate_circuit(profile)
+    result = HdfTestFlow(circuit, FlowConfig(atpg_seed=4)).run(
+        with_schedules=True)
+    prop = result.schedules["prop"]
+    print(f"Circuit {circuit.name}: {circuit.num_gates} gates, "
+          f"{len(result.classification.target)} target HDFs, schedule has "
+          f"{prop.num_frequencies} frequencies / {prop.num_entries} entries")
+
+    ranks = []
+    for fi in sorted(result.classification.target)[:6]:
+        fault = result.data.faults[fi]
+        signature = collect_signature(result, fault)
+        ranked = diagnose(result.data, result.configs, signature,
+                          max_results=5)
+        rank = resolution(ranked, fi)
+        ranks.append(rank)
+        print(f"\nInjected: {fault.describe(circuit)} "
+              f"({len(signature.failing)}/{len(signature)} applications fail)")
+        for i, cand in enumerate(ranked, start=1):
+            marker = "  <-- injected" if cand.fault_index == fi else ""
+            print(f"  #{i} {cand.fault.describe(circuit):24s} "
+                  f"score={cand.score:6.2f} explained={cand.explained} "
+                  f"missed={cand.missed} false={cand.false_alarms}{marker}")
+
+    located = [r for r in ranks if r is not None]
+    print(f"\nDiagnosed {len(located)}/{len(ranks)} injected faults; "
+          f"best rank {min(located) if located else '-'} "
+          f"(ties with equivalent faults are expected).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP 660
+editable installs are unavailable; ``pip install -e . --no-use-pep517
+--no-build-isolation`` falls back to this file.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — Programmable Delay Monitors for Wear-Out and Early-Life Failure
+Prediction (DATE 2020 reproduction).
+
+A complete open-source implementation of the paper's flow: gate-level
+netlists with 45 nm-class timing, timing-accurate small-delay-fault waveform
+simulation, programmable delay monitor modeling and placement, transition
+fault ATPG, ILP-based FAST test-schedule optimization, and the aging /
+early-life-failure prediction workflow — plus drivers that regenerate every
+table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import HdfTestFlow, FlowConfig
+    from repro.circuits import embedded_circuit
+
+    result = HdfTestFlow(embedded_circuit("s27"), FlowConfig()).run()
+    print(result.table1_row())
+"""
+
+from repro.core import FlowConfig, FlowResult, HdfTestFlow
+from repro.netlist import Circuit, GateKind
+from repro.timing import ClockSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FlowConfig",
+    "FlowResult",
+    "HdfTestFlow",
+    "Circuit",
+    "GateKind",
+    "ClockSpec",
+    "__version__",
+]

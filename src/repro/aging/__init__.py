@@ -1,0 +1,35 @@
+"""Wear-out and early-life failure modeling.
+
+The motivation of the paper (Sec. I/II-B): device delays degrade over the
+lifetime through BTI/HCI/EM, while *marginal* young devices fail early with
+rapidly magnifying small delays.  This package provides the analytic
+degradation models, the lifetime simulation driving the programmable
+monitors, and the failure predictor that turns monitor alerts into
+remaining-margin estimates.
+"""
+
+from repro.aging.degradation import AgingScenario, BtiModel, EmModel, HciModel
+from repro.aging.lifetime import LifetimeResult, LifetimeSimulator
+from repro.aging.marginal import MarginalDeviceModel, inject_marginal_defects
+from repro.aging.mitigation import (
+    AdaptiveLifetimeResult,
+    AdaptiveLifetimeSimulator,
+    MitigationPolicy,
+)
+from repro.aging.prediction import FailurePredictor, PredictionReport
+
+__all__ = [
+    "AgingScenario",
+    "BtiModel",
+    "HciModel",
+    "EmModel",
+    "LifetimeResult",
+    "LifetimeSimulator",
+    "MarginalDeviceModel",
+    "inject_marginal_defects",
+    "AdaptiveLifetimeResult",
+    "AdaptiveLifetimeSimulator",
+    "MitigationPolicy",
+    "FailurePredictor",
+    "PredictionReport",
+]

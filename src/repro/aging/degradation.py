@@ -1,0 +1,125 @@
+"""Analytic delay-degradation models.
+
+Compact models in the style of [1] (Li/Qin/Bernstein, TDMR 2008):
+
+* **BTI** (bias temperature instability) — threshold-voltage shift with a
+  power-law time dependence, ``Δd/d = A · (s·t)^n`` with exponent
+  ``n ≈ 0.16``; ``s`` is the per-gate stress duty factor.
+* **HCI** (hot-carrier injection) — switching-activity driven power law with
+  exponent ``n ≈ 0.45``.
+* **EM** (electromigration) — interconnect resistance growth; modeled as a
+  load-delay increase that accelerates after an onset time.
+
+An :class:`AgingScenario` combines the mechanisms with deterministic per-gate
+stress/activity factors and produces the multiplicative delay factor for any
+gate at any lifetime point — which :meth:`Circuit.scale_gate_delays` applies.
+
+Times are in arbitrary *lifetime units* (years in the examples); the models
+are monotone and dimensionless, which is all the prediction flow requires.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Circuit, GateKind
+
+
+@dataclass(frozen=True)
+class BtiModel:
+    """Power-law BTI degradation: ``Δd/d = amplitude · (stress · t)^exponent``."""
+
+    amplitude: float = 0.04
+    exponent: float = 0.16
+
+    def delta_fraction(self, t: float, stress: float = 1.0) -> float:
+        if t <= 0.0 or stress <= 0.0:
+            return 0.0
+        return self.amplitude * (stress * t) ** self.exponent
+
+
+@dataclass(frozen=True)
+class HciModel:
+    """Power-law HCI degradation driven by switching activity."""
+
+    amplitude: float = 0.02
+    exponent: float = 0.45
+
+    def delta_fraction(self, t: float, activity: float = 0.5) -> float:
+        if t <= 0.0 or activity <= 0.0:
+            return 0.0
+        return self.amplitude * (activity * t) ** self.exponent
+
+
+@dataclass(frozen=True)
+class EmModel:
+    """Electromigration: negligible before ``onset``, linear growth after."""
+
+    rate: float = 0.01
+    onset: float = 5.0
+
+    def delta_fraction(self, t: float, current_factor: float = 1.0) -> float:
+        if t <= self.onset or current_factor <= 0.0:
+            return 0.0
+        return self.rate * current_factor * (t - self.onset)
+
+
+@dataclass
+class AgingScenario:
+    """Per-gate combination of the degradation mechanisms.
+
+    Stress, activity and current factors are drawn deterministically per gate
+    from ``seed`` so two scenarios with the same seed degrade identically.
+    """
+
+    bti: BtiModel = field(default_factory=BtiModel)
+    hci: HciModel = field(default_factory=HciModel)
+    em: EmModel = field(default_factory=EmModel)
+    seed: int = 0
+    stress_spread: float = 0.5
+    _factors: dict[int, tuple[float, float, float]] = field(
+        default_factory=dict, repr=False)
+
+    def _gate_factors(self, gate: int) -> tuple[float, float, float]:
+        if gate not in self._factors:
+            rng = random.Random((self.seed << 20) ^ gate)
+            spread = self.stress_spread
+
+            def draw() -> float:
+                return max(0.05, 1.0 + spread * (rng.random() * 2.0 - 1.0))
+
+            self._factors[gate] = (draw(), draw(), draw())
+        return self._factors[gate]
+
+    def delay_factor(self, gate: int, t: float) -> float:
+        """Multiplicative delay factor of ``gate`` at lifetime ``t`` (>= 1)."""
+        stress, activity, current = self._gate_factors(gate)
+        return (1.0
+                + self.bti.delta_fraction(t, stress)
+                + self.hci.delta_fraction(t, activity)
+                + self.em.delta_fraction(t, current))
+
+    def delay_factors(self, circuit: Circuit, t: float) -> dict[int, float]:
+        """Factors for every combinational gate of a circuit at time ``t``."""
+        return {
+            g.index: self.delay_factor(g.index, t)
+            for g in circuit.gates
+            if GateKind.is_combinational(g.kind)
+        }
+
+
+def aged_copy(circuit: Circuit, scenario: AgingScenario, t: float,
+              *, name_suffix: str | None = None) -> Circuit:
+    """Deep-copied circuit with delays degraded to lifetime point ``t``.
+
+    The original circuit is left untouched; the copy shares no mutable
+    timing state.
+    """
+    import copy
+
+    aged = copy.deepcopy(circuit)
+    if name_suffix is not None:
+        aged.name = f"{circuit.name}{name_suffix}"
+    aged.scale_gate_delays(scenario.delay_factors(aged, t))
+    return aged

@@ -1,0 +1,154 @@
+"""Lifetime simulation driving the programmable monitors.
+
+Walks a device through its lifetime: at every time point the gate delays are
+degraded (wear-out scenario and/or marginal-device model), a sample workload
+is simulated with full timing accuracy, and every monitor configuration is
+evaluated at the nominal capture time.  The result records, per
+configuration, when its guard band was first violated — the raw material for
+failure prediction (Fig. 2 b/c of the paper: wide guard band first, narrower
+bands as degradation progresses).
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+
+from repro.aging.degradation import AgingScenario
+from repro.aging.marginal import MarginalDeviceModel
+from repro.monitors.insertion import MonitorPlacement
+from repro.netlist.circuit import Circuit
+from repro.simulation.wave_sim import WaveformSimulator
+from repro.timing.clock import ClockSpec
+from repro.timing.sta import run_sta
+
+
+@dataclass
+class LifetimePoint:
+    """Device state at one lifetime instant."""
+
+    t: float
+    critical_path: float
+    slack: float
+    #: config index -> monitor alert observed under the sample workload.
+    alerts: dict[int, bool]
+    #: config index -> names of alerting monitors.
+    alerting_monitors: dict[int, list[str]] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> bool:
+        """Setup failure at nominal speed (critical path exceeds the clock)."""
+        return self.slack < 0.0
+
+
+@dataclass
+class LifetimeResult:
+    """Chronological lifetime trace."""
+
+    clock: ClockSpec
+    config_delays: tuple[float, ...]
+    points: list[LifetimePoint] = field(default_factory=list)
+
+    def first_alert_time(self, config: int) -> float | None:
+        """Earliest lifetime instant at which the config raised an alert."""
+        for p in self.points:
+            if p.alerts.get(config):
+                return p.t
+        return None
+
+    @property
+    def failure_time(self) -> float | None:
+        for p in self.points:
+            if p.failed:
+                return p.t
+        return None
+
+    def margin_series(self) -> list[tuple[float, float]]:
+        """(t, slack) pairs — the degradation curve."""
+        return [(p.t, p.slack) for p in self.points]
+
+
+class LifetimeSimulator:
+    """Simulates one device instance through its lifetime."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        clock: ClockSpec,
+        placement: MonitorPlacement,
+        *,
+        scenario: AgingScenario | None = None,
+        marginal: MarginalDeviceModel | None = None,
+        workload_patterns: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if scenario is None and marginal is None:
+            raise ValueError("need an aging scenario, a marginal model or both")
+        self.circuit = circuit
+        self.clock = clock
+        self.placement = placement
+        self.scenario = scenario
+        self.marginal = marginal
+        self.workload_patterns = workload_patterns
+        self.seed = seed
+
+    def _workload(self) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Deterministic sample of functional launch/capture vectors."""
+        rng = random.Random(self.seed)
+        width = len(self.circuit.sources())
+        return [
+            (tuple(rng.randint(0, 1) for _ in range(width)),
+             tuple(rng.randint(0, 1) for _ in range(width)))
+            for _ in range(self.workload_patterns)
+        ]
+
+    def _aged_circuit(self, t: float) -> Circuit:
+        aged = copy.deepcopy(self.circuit)
+        factors: dict[int, float] = {}
+        if self.scenario is not None:
+            factors.update(self.scenario.delay_factors(aged, t))
+        if self.marginal is not None:
+            for gate, f in self.marginal.delay_factors(aged, t).items():
+                factors[gate] = factors.get(gate, 1.0) * f
+        aged.scale_gate_delays(factors)
+        return aged
+
+    def run(self, times: list[float]) -> LifetimeResult:
+        """Evaluate the device at each (ascending) lifetime point."""
+        if sorted(times) != list(times):
+            raise ValueError("lifetime points must be ascending")
+        configs = self.placement.configs
+        result = LifetimeResult(clock=self.clock,
+                                config_delays=tuple(configs))
+        workload = self._workload()
+        t_capture = self.clock.t_nom
+        for t in times:
+            aged = self._aged_circuit(t)
+            sta = run_sta(aged, clock_period=self.clock.t_nom)
+            sim = WaveformSimulator(aged)
+            alerts = {ci: False for ci in range(len(configs))}
+            alerting: dict[int, list[str]] = {ci: [] for ci in alerts}
+            for launch, capture in workload:
+                res = sim.simulate(launch, capture)
+                for mon in self.placement.bank:
+                    wave = res.waveforms[mon.gate]
+                    for ci in range(len(configs)):
+                        if alerts[ci] and mon.name in alerting[ci]:
+                            continue
+                        saved = mon.selected
+                        mon.select(ci)
+                        hit = mon.alert(wave, t_capture)
+                        mon.select(saved)
+                        if hit:
+                            alerts[ci] = True
+                            if mon.name not in alerting[ci]:
+                                alerting[ci].append(mon.name)
+            result.points.append(LifetimePoint(
+                t=t,
+                critical_path=sta.critical_path,
+                slack=self.clock.t_nom - sta.critical_path,
+                alerts=alerts,
+                alerting_monitors=alerting,
+            ))
+        return result

@@ -1,0 +1,76 @@
+"""Marginal (early-life failure) device modeling.
+
+Early-life failures [2] stem from latent defects — e.g. weak gate oxide —
+that pass manufacturing test but magnify quickly in the field.  The model
+here marks a small set of *weak gates* carrying an initial hidden extra
+delay (≈ the 6σ small-delay-fault population) that grows much faster than
+normal wear-out:
+
+``Δd_weak(t) = delta0 · (1 + growth · t^accel)``
+
+so a device that was marginally passing at ``t = 0`` violates timing within
+a fraction of the nominal lifetime — exactly the failures FAST screening and
+in-field monitors are meant to catch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Circuit, GateKind
+from repro.timing.variation import fault_size_for_gate
+
+
+@dataclass
+class MarginalDeviceModel:
+    """Early-life degradation of a fixed set of weak gates."""
+
+    weak_gates: dict[int, float]  # gate index -> initial extra delay (ps)
+    growth: float = 0.8
+    accel: float = 1.3
+
+    def extra_delay(self, gate: int, t: float) -> float:
+        """Absolute extra delay (ps) of a weak gate at lifetime ``t``."""
+        delta0 = self.weak_gates.get(gate)
+        if delta0 is None:
+            return 0.0
+        if t <= 0.0:
+            return delta0
+        return delta0 * (1.0 + self.growth * t ** self.accel)
+
+    def delay_factors(self, circuit: Circuit, t: float) -> dict[int, float]:
+        """Multiplicative factors equivalent to the extra delays at ``t``."""
+        out: dict[int, float] = {}
+        for gate, _delta0 in self.weak_gates.items():
+            g = circuit.gates[gate]
+            base = g.max_delay()
+            if base <= 0.0:
+                continue
+            out[gate] = 1.0 + self.extra_delay(gate, t) / base
+        return out
+
+
+def inject_marginal_defects(circuit: Circuit, *, count: int, seed: int = 0,
+                            sigma_fraction: float = 0.2,
+                            n_sigma: float = 6.0) -> MarginalDeviceModel:
+    """Pick ``count`` random weak gates with 6σ-sized initial hidden delays.
+
+    The initial deltas match the paper's small-delay-fault sizing, i.e. each
+    weak gate is precisely one of the hidden delay faults the FAST flow
+    targets at time zero.
+    """
+    rng = random.Random(seed)
+    candidates = [g.index for g in circuit.gates
+                  if GateKind.is_combinational(g.kind)]
+    if count > len(candidates):
+        raise ValueError(
+            f"cannot mark {count} weak gates in a {len(candidates)}-gate circuit")
+    chosen = rng.sample(candidates, count)
+    weak = {
+        gate: fault_size_for_gate(circuit, gate,
+                                  sigma_fraction=sigma_fraction,
+                                  n_sigma=n_sigma)
+        for gate in chosen
+    }
+    return MarginalDeviceModel(weak_gates=weak)

@@ -1,0 +1,184 @@
+"""Closed-loop aging mitigation driven by monitor alerts.
+
+The paper's motivation for *programmable* monitors (Sec. II-B): after the
+first alert, countermeasures — frequency or voltage scaling — reduce
+further degradation; the monitor then switches to a smaller delay element
+to track the remaining margin.  This module implements that control loop
+on top of the lifetime simulator:
+
+* :class:`MitigationPolicy` — what to do on an alert: stretch the clock by
+  a factor and/or derate the stress (modeling a supply-voltage reduction,
+  which slows BTI/HCI), then step the shared monitor configuration down.
+* :class:`AdaptiveLifetimeSimulator` — runs the device through its
+  lifetime applying the policy, recording the clock trajectory and the
+  achieved lifetime extension versus the unmitigated device.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.aging.degradation import AgingScenario
+from repro.aging.marginal import MarginalDeviceModel
+from repro.monitors.insertion import MonitorPlacement
+from repro.netlist.circuit import Circuit
+from repro.simulation.wave_sim import WaveformSimulator
+from repro.timing.clock import ClockSpec
+from repro.timing.sta import run_sta
+import random
+
+
+@dataclass(frozen=True)
+class MitigationPolicy:
+    """Reaction to a guard-band violation.
+
+    ``clock_stretch`` multiplies the operating period on each alert (1.05 =
+    5 % frequency down-scaling); ``stress_derate`` multiplies the effective
+    lifetime-stress clock (supply scaling slows BTI/HCI, modeled as time
+    dilation of the degradation laws); ``max_actions`` bounds the number of
+    interventions (a system cannot slow down forever).
+    """
+
+    clock_stretch: float = 1.05
+    stress_derate: float = 0.7
+    max_actions: int = 3
+
+    def __post_init__(self) -> None:
+        if self.clock_stretch < 1.0:
+            raise ValueError("clock_stretch must be >= 1")
+        if not 0.0 < self.stress_derate <= 1.0:
+            raise ValueError("stress_derate must lie in (0, 1]")
+
+
+@dataclass
+class AdaptiveLifetimePoint:
+    """One lifetime instant under the adaptive controller."""
+
+    t: float
+    period: float
+    critical_path: float
+    alert: bool
+    actions_taken: int
+    config: int
+
+    @property
+    def slack(self) -> float:
+        return self.period - self.critical_path
+
+    @property
+    def failed(self) -> bool:
+        return self.slack < 0.0
+
+
+@dataclass
+class AdaptiveLifetimeResult:
+    points: list[AdaptiveLifetimePoint] = field(default_factory=list)
+
+    @property
+    def failure_time(self) -> float | None:
+        for p in self.points:
+            if p.failed:
+                return p.t
+        return None
+
+    @property
+    def total_actions(self) -> int:
+        return self.points[-1].actions_taken if self.points else 0
+
+    def clock_trajectory(self) -> list[tuple[float, float]]:
+        return [(p.t, p.period) for p in self.points]
+
+
+class AdaptiveLifetimeSimulator:
+    """Lifetime simulation with alert-triggered mitigation.
+
+    On every evaluation instant the monitors are checked under the current
+    configuration at the *current* (possibly stretched) clock; an alert
+    triggers the policy: stretch the clock, derate the stress clock, and
+    select the next-smaller delay element (Fig. 2c) so the narrower guard
+    band keeps watching the shrunken margin.
+    """
+
+    def __init__(self, circuit: Circuit, clock: ClockSpec,
+                 placement: MonitorPlacement, *,
+                 scenario: AgingScenario,
+                 marginal: MarginalDeviceModel | None = None,
+                 policy: MitigationPolicy | None = None,
+                 workload_patterns: int = 8, seed: int = 0) -> None:
+        self.circuit = circuit
+        self.clock = clock
+        self.placement = placement
+        self.scenario = scenario
+        self.marginal = marginal
+        self.policy = policy or MitigationPolicy()
+        self.workload_patterns = workload_patterns
+        self.seed = seed
+
+    def _workload(self):
+        rng = random.Random(self.seed)
+        width = len(self.circuit.sources())
+        return [
+            (tuple(rng.randint(0, 1) for _ in range(width)),
+             tuple(rng.randint(0, 1) for _ in range(width)))
+            for _ in range(self.workload_patterns)
+        ]
+
+    def _aged(self, effective_t: float) -> Circuit:
+        aged = copy.deepcopy(self.circuit)
+        factors = dict(self.scenario.delay_factors(aged, effective_t))
+        if self.marginal is not None:
+            for gate, f in self.marginal.delay_factors(
+                    aged, effective_t).items():
+                factors[gate] = factors.get(gate, 1.0) * f
+        aged.scale_gate_delays(factors)
+        return aged
+
+    def run(self, times: list[float]) -> AdaptiveLifetimeResult:
+        if sorted(times) != list(times):
+            raise ValueError("lifetime points must be ascending")
+        configs = self.placement.configs
+        workload = self._workload()
+        result = AdaptiveLifetimeResult()
+
+        period = self.clock.t_nom
+        config = len(configs) - 1  # start with the widest guard band
+        actions = 0
+        stress_clock = 0.0
+        prev_t = 0.0
+        derate = 1.0
+
+        for t in times:
+            # Stress time advances slower once derated.
+            stress_clock += (t - prev_t) * derate
+            prev_t = t
+            aged = self._aged(stress_clock)
+            sta = run_sta(aged, clock_period=period)
+            sim = WaveformSimulator(aged)
+            alert = False
+            for launch, capture in workload:
+                res = sim.simulate(launch, capture)
+                for mon in self.placement.bank:
+                    saved = mon.selected
+                    mon.select(config)
+                    # The controller uses the strict guard-band check (any
+                    # toggle inside the window): a safety mechanism must not
+                    # rely on the XOR comparator's parity blind spot.
+                    hit = mon.window_violation(res.waveforms[mon.gate],
+                                               period)
+                    mon.select(saved)
+                    if hit:
+                        alert = True
+                        break
+                if alert:
+                    break
+            result.points.append(AdaptiveLifetimePoint(
+                t=t, period=period, critical_path=sta.critical_path,
+                alert=alert, actions_taken=actions, config=config))
+            if alert and actions < self.policy.max_actions:
+                actions += 1
+                period *= self.policy.clock_stretch
+                derate *= self.policy.stress_derate
+                if config > 0:
+                    config -= 1
+        return result

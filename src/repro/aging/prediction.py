@@ -1,0 +1,141 @@
+"""Failure prediction from programmable-monitor alerts.
+
+The monitor's delay element ``d`` defines a guard band: an alert under
+configuration ``d`` means the observed timing margin has shrunk below ``d``.
+A *programmable* monitor therefore yields a staircase of margin upper bounds
+over the lifetime — when the margin crosses the largest delay the device is
+flagged for countermeasures (frequency/voltage scaling), and each
+smaller-delay alert tightens the remaining-life estimate (Sec. II-B).
+
+:class:`FailurePredictor` turns a :class:`LifetimeResult` into a
+:class:`PredictionReport`: margin-crossing events, a least-squares
+extrapolation of the margin trajectory, the predicted failure time and the
+achieved warning lead time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aging.lifetime import LifetimeResult
+
+
+@dataclass(frozen=True)
+class MarginCrossing:
+    """First alert of one configuration: margin fell below ``guard_band``."""
+
+    config: int
+    guard_band: float
+    time: float
+
+
+@dataclass
+class PredictionReport:
+    """Outcome of monitor-based failure prediction for one device."""
+
+    crossings: list[MarginCrossing]
+    predicted_failure_time: float | None
+    actual_failure_time: float | None
+    first_warning_time: float | None
+
+    @property
+    def lead_time(self) -> float | None:
+        """Warning margin: actual failure minus first alert (None if either
+        is unknown)."""
+        if self.first_warning_time is None or self.actual_failure_time is None:
+            return None
+        return self.actual_failure_time - self.first_warning_time
+
+    @property
+    def prediction_error(self) -> float | None:
+        if (self.predicted_failure_time is None
+                or self.actual_failure_time is None):
+            return None
+        return self.predicted_failure_time - self.actual_failure_time
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "crossings": [(c.config, round(c.guard_band, 2), c.time)
+                          for c in self.crossings],
+            "first_warning": self.first_warning_time,
+            "predicted_failure": self.predicted_failure_time,
+            "actual_failure": self.actual_failure_time,
+            "lead_time": self.lead_time,
+        }
+
+
+@dataclass
+class FailurePredictor:
+    """Extrapolates the margin staircase to a failure-time estimate.
+
+    ``min_points`` crossings are required before extrapolating; with fewer,
+    the predictor falls back to the simulated slack series when
+    ``use_slack_fallback`` is set (models an ideal margin sensor).
+    """
+
+    min_points: int = 2
+    use_slack_fallback: bool = True
+
+    def crossings_of(self, result: LifetimeResult) -> list[MarginCrossing]:
+        out: list[MarginCrossing] = []
+        for ci, d in enumerate(result.config_delays):
+            t = result.first_alert_time(ci)
+            if t is not None:
+                out.append(MarginCrossing(config=ci, guard_band=d, time=t))
+        out.sort(key=lambda c: c.time)
+        return out
+
+    def predict(self, result: LifetimeResult) -> PredictionReport:
+        crossings = self.crossings_of(result)
+        first_warning = crossings[0].time if crossings else None
+        predicted = self._extrapolate(crossings)
+        if predicted is None and self.use_slack_fallback:
+            predicted = self._extrapolate_slack(result)
+        return PredictionReport(
+            crossings=crossings,
+            predicted_failure_time=predicted,
+            actual_failure_time=result.failure_time,
+            first_warning_time=first_warning,
+        )
+
+    # ------------------------------------------------------------------
+    # Extrapolation helpers
+    # ------------------------------------------------------------------
+    def _extrapolate(self, crossings: list[MarginCrossing]) -> float | None:
+        """Least-squares linear fit of margin(t); root is the failure time.
+
+        A crossing (d, t) bounds the margin at time t from above by d; using
+        the guard bands as margin samples gives a conservative (early)
+        estimate, which is the right bias for a safety mechanism.
+        """
+        pts = [(c.time, c.guard_band) for c in crossings]
+        if len(pts) < self.min_points:
+            return None
+        slope, intercept = _least_squares(pts)
+        if slope >= 0.0:
+            return None  # margin not shrinking: no finite prediction
+        return -intercept / slope
+
+    def _extrapolate_slack(self, result: LifetimeResult) -> float | None:
+        pts = [(t, s) for t, s in result.margin_series() if s > 0.0]
+        if len(pts) < 2:
+            return None
+        slope, intercept = _least_squares(pts)
+        if slope >= 0.0:
+            return None
+        return -intercept / slope
+
+
+def _least_squares(points: list[tuple[float, float]]) -> tuple[float, float]:
+    """Plain least-squares line fit returning ``(slope, intercept)``."""
+    n = len(points)
+    sx = sum(p[0] for p in points)
+    sy = sum(p[1] for p in points)
+    sxx = sum(p[0] * p[0] for p in points)
+    sxy = sum(p[0] * p[1] for p in points)
+    denom = n * sxx - sx * sx
+    if abs(denom) < 1e-12:
+        return 0.0, sy / n
+    slope = (n * sxy - sx * sy) / denom
+    intercept = (sy - slope * sx) / n
+    return slope, intercept

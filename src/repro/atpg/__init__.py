@@ -1,0 +1,13 @@
+"""Transition-fault ATPG: pattern-pair containers, PODEM test generation,
+bit-parallel fault simulation with fault dropping, and static compaction.
+
+Stands in for the commercial ATPG tool used in the paper's evaluation; the
+scheduling flow only consumes the resulting compacted pattern-pair set.
+"""
+
+from repro.atpg.patterns import PatternPair, TestSet
+from repro.atpg.path_atpg import generate_path_tests
+from repro.atpg.transition import generate_transition_tests
+
+__all__ = ["PatternPair", "TestSet", "generate_path_tests",
+           "generate_transition_tests"]

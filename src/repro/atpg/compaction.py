@@ -1,0 +1,62 @@
+"""Static test-set compaction.
+
+Two standard techniques:
+
+* :func:`reverse_order_drop` — reverse-order fault dropping: walk the pattern
+  list backwards keeping a pattern only when it detects a fault no
+  later-kept pattern detects.  Later (deterministically-targeted) patterns
+  tend to detect many random-phase faults, making early patterns redundant.
+* :func:`merge_compatible` — greedy X-merging of pattern pairs whose care
+  bits do not conflict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.atpg.patterns import PatternPair, TestSet
+
+
+def reverse_order_drop(num_patterns: int,
+                       fault_masks: Iterable[int]) -> list[int]:
+    """Select a detecting subset of pattern indices.
+
+    ``fault_masks`` holds one bitmask per fault: bit ``p`` set iff pattern
+    ``p`` detects the fault.  Patterns are considered from last to first; a
+    pattern is kept iff some fault is detected by it and by no already-kept
+    pattern.  Returns kept indices in ascending order.
+    """
+    masks = [m for m in fault_masks if m]
+    kept_union = 0
+    kept: list[int] = []
+    for p in range(num_patterns - 1, -1, -1):
+        bit = 1 << p
+        useful = False
+        for m in masks:
+            if m & bit and not m & kept_union:
+                useful = True
+                break
+        if useful:
+            kept.append(p)
+            kept_union |= bit
+    kept.reverse()
+    return kept
+
+
+def merge_compatible(test_set: TestSet) -> TestSet:
+    """Greedy pairwise X-merging of compatible pattern pairs.
+
+    Patterns with don't-cares produced by deterministic ATPG are merged when
+    their care bits agree; first-fit order keeps the procedure O(n²) worst
+    case but near-linear in practice.
+    """
+    merged: list[PatternPair] = []
+    for pattern in test_set:
+        for i, existing in enumerate(merged):
+            combined = existing.merged_with(pattern)
+            if combined is not None:
+                merged[i] = combined
+                break
+        else:
+            merged.append(pattern)
+    return TestSet(test_set.circuit, merged)

@@ -1,0 +1,384 @@
+"""PODEM test generation for stuck-at faults on the combinational core.
+
+Classic PODEM (Goel 1981): decisions are made only on primary inputs (here:
+all combinational sources, i.e. PIs and scan flip-flops — the enhanced-scan
+model standard in delay testing), implications are computed by forward
+three-valued simulation of the good and the faulty machine, and conflicts are
+resolved by chronological backtracking.
+
+Besides full test generation (:meth:`Podem.generate`), a justification-only
+mode (:meth:`Podem.justify`) finds an input assignment that sets an internal
+signal to a required value — used for the *launch* vector of a transition
+test, which only needs to establish the initial value at the fault site.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.faults.models import StuckAtFault
+from repro.netlist.circuit import Circuit, GateKind
+from repro.simulation.logic import X, controlling_value, eval_ternary
+
+#: Gate kinds whose output inverts the justified input objective.
+_INVERTING = {GateKind.NAND, GateKind.NOR, GateKind.NOT, GateKind.XNOR}
+
+
+@dataclass
+class PodemStats:
+    """Bookkeeping for one generation attempt."""
+
+    decisions: int = 0
+    backtracks: int = 0
+    aborted: bool = False
+
+
+class Untestable(Exception):
+    """The fault is proven untestable (decision space exhausted)."""
+
+
+class Aborted(Exception):
+    """The backtrack limit was exceeded before a verdict."""
+
+
+class Podem:
+    """PODEM engine bound to one finalized circuit."""
+
+    def __init__(self, circuit: Circuit, *, max_backtracks: int = 512,
+                 seed: int = 0) -> None:
+        if not circuit.is_finalized:
+            raise ValueError("circuit must be finalized before ATPG")
+        self.circuit = circuit
+        self.max_backtracks = max_backtracks
+        self._rng = random.Random(seed)
+        self._order = [i for i in circuit.topo_order
+                       if GateKind.is_combinational(circuit.gates[i].kind)]
+        self._sources = circuit.sources()
+        self._source_set = set(self._sources)
+        self._obs_gates = sorted({op.gate
+                                  for op in circuit.observation_points()})
+        self._obs_set = set(self._obs_gates)
+        self.stats = PodemStats()
+        # Incremental implication state: persistent good-machine values and
+        # per-source fanout cones in evaluation order.
+        self._good = self._fresh_values()
+        self._cone_order: dict[int, list[int]] = {}
+
+    def _fresh_values(self) -> list[int]:
+        values = [X] * len(self.circuit.gates)
+        for g in self.circuit.gates:
+            if g.kind == GateKind.CONST0:
+                values[g.index] = 0
+            elif g.kind == GateKind.CONST1:
+                values[g.index] = 1
+        return values
+
+    def _cone_of(self, src: int) -> list[int]:
+        if src not in self._cone_order:
+            cone = self.circuit.fanout_cone(src)
+            self._cone_order[src] = [i for i in self._order if i in cone]
+        return self._cone_order[src]
+
+    def _set_source(self, src: int, value: int) -> None:
+        """Assign (or clear, with X) a source and re-imply its cone."""
+        good = self._good
+        good[src] = value
+        gates = self.circuit.gates
+        for idx in self._cone_of(src):
+            g = gates[idx]
+            fanin = g.fanin
+            good[idx] = eval_ternary(g.kind, [good[s] for s in fanin])
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(self, fault: StuckAtFault) -> dict[int, int] | None:
+        """Find a source assignment detecting ``fault``.
+
+        Returns a partial assignment ``{source gate index: 0/1}`` (unassigned
+        sources are don't-cares), or None when untestable or aborted; check
+        :attr:`stats` ``.aborted`` to distinguish the two.
+        """
+        self.stats = PodemStats()
+        self._reset()
+        assignment: dict[int, int] = {}
+        stack: list[tuple[int, int, bool]] = []  # (source, value, flipped)
+        try:
+            while True:
+                good = self._good
+                faulty = self._faulty(fault)
+                if self._detected(good, faulty):
+                    return dict(assignment)
+                objective = self._objective(good, faulty, fault)
+                if objective is None:
+                    self._backtrack(assignment, stack)
+                    continue
+                decision = self._backtrace(objective, good)
+                if decision is None:
+                    self._backtrack(assignment, stack)
+                    continue
+                src, val = decision
+                assignment[src] = val
+                self._set_source(src, val)
+                stack.append((src, val, False))
+                self.stats.decisions += 1
+        except Untestable:
+            return None
+        except Aborted:
+            self.stats.aborted = True
+            return None
+
+    def justify_all(self, objectives: list[tuple[int, int]]
+                    ) -> dict[int, int] | None:
+        """Source assignment satisfying *all* ``(gate, value)`` objectives.
+
+        Generalized justification used by path-oriented test generation: the
+        decision loop keeps working on the first unsatisfied objective and
+        backtracks whenever any objective becomes violated.  Returns None on
+        conflict (the objectives are mutually unsatisfiable) or abort.
+        """
+        self.stats = PodemStats()
+        # Source objectives are assignments, not search work.
+        assignment: dict[int, int] = {}
+        pending: list[tuple[int, int]] = []
+        for gate, value in objectives:
+            if gate in self._source_set:
+                if assignment.get(gate, value) != value:
+                    return None
+                assignment[gate] = value
+            else:
+                pending.append((gate, value))
+        self._reset()
+        for src, val in assignment.items():
+            self._set_source(src, val)
+        stack: list[tuple[int, int, bool]] = []
+        try:
+            while True:
+                good = self._good
+                violated = any(good[g] == 1 - v for g, v in pending)
+                if violated:
+                    self._backtrack(assignment, stack)
+                    continue
+                open_objs = [(g, v) for g, v in pending if good[g] == X]
+                if not open_objs:
+                    return dict(assignment)
+                decision = self._backtrace(open_objs[0], good)
+                if decision is None:
+                    self._backtrack(assignment, stack)
+                    continue
+                src, val = decision
+                assignment[src] = val
+                self._set_source(src, val)
+                stack.append((src, val, False))
+                self.stats.decisions += 1
+        except Untestable:
+            return None
+        except Aborted:
+            self.stats.aborted = True
+            return None
+
+    def justify(self, gate: int, value: int) -> dict[int, int] | None:
+        """Find a source assignment making ``gate``'s output equal ``value``.
+
+        Pure good-machine justification (no fault, no propagation); used to
+        build launch vectors.  Returns None when impossible or aborted.
+        """
+        self.stats = PodemStats()
+        if gate in self._source_set:
+            return {gate: value}
+        self._reset()
+        assignment: dict[int, int] = {}
+        stack: list[tuple[int, int, bool]] = []
+        try:
+            while True:
+                good = self._good
+                if good[gate] == value:
+                    return dict(assignment)
+                if good[gate] == 1 - value:
+                    self._backtrack(assignment, stack)
+                    continue
+                decision = self._backtrace((gate, value), good)
+                if decision is None:
+                    self._backtrack(assignment, stack)
+                    continue
+                src, val = decision
+                assignment[src] = val
+                self._set_source(src, val)
+                stack.append((src, val, False))
+                self.stats.decisions += 1
+        except Untestable:
+            return None
+        except Aborted:
+            self.stats.aborted = True
+            return None
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def _reset(self) -> None:
+        """Clear all source assignments (start of a generation attempt)."""
+        for src in self._sources:
+            if self._good[src] != X and GateKind.is_source(
+                    self.circuit.gates[src].kind):
+                g = self.circuit.gates[src]
+                if g.kind in (GateKind.CONST0, GateKind.CONST1):
+                    continue
+                self._set_source(src, X)
+
+    def _faulty(self, fault: StuckAtFault) -> list[int]:
+        """Faulty-machine values derived from the current good values."""
+        circuit = self.circuit
+        good = self._good
+        faulty = list(good)
+        site = fault.site
+        g = circuit.gates[site.gate]
+        if site.is_output_pin:
+            faulty[site.gate] = fault.value
+        else:
+            ins = [faulty[s] for s in g.fanin]
+            ins[site.pin] = fault.value
+            faulty[site.gate] = eval_ternary(g.kind, ins)
+        if faulty[site.gate] == good[site.gate]:
+            return faulty
+        for idx in self._cone_of(site.gate):
+            cg = circuit.gates[idx]
+            faulty[idx] = eval_ternary(
+                cg.kind, [faulty[s] for s in cg.fanin])
+        return faulty
+
+    # ------------------------------------------------------------------
+    # PODEM machinery
+    # ------------------------------------------------------------------
+    def _detected(self, good: list[int], faulty: list[int]) -> bool:
+        return any(good[o] != X and faulty[o] != X and good[o] != faulty[o]
+                   for o in self._obs_gates)
+
+    def _site_pin_value(self, good: list[int], fault: StuckAtFault) -> int:
+        """Good-machine value at the faulted pin."""
+        return good[fault.site.signal_gate(self.circuit)]
+
+    def _objective(self, good: list[int], faulty: list[int],
+                   fault: StuckAtFault) -> tuple[int, int] | None:
+        """Next (gate, value) objective, or None to trigger backtracking."""
+        site_val = self._site_pin_value(good, fault)
+        activation = 1 - fault.value
+        if site_val == fault.value:
+            return None  # activation conflict
+        if site_val == X:
+            return (fault.site.signal_gate(self.circuit), activation)
+        # The fault effect first materializes at the site gate itself; as
+        # long as its good/faulty outputs are not both specified, no D-value
+        # exists on any net and the frontier below cannot see the fault.
+        # Objective: sensitise the site gate by fixing an X side-input.
+        site_gate = fault.site.gate
+        if good[site_gate] == X or faulty[site_gate] == X:
+            g = self.circuit.gates[site_gate]
+            ctrl = controlling_value(g.kind)
+            noncontrolling = 1 - ctrl if ctrl is not None else 1
+            for pin, src in enumerate(g.fanin):
+                if good[src] == X:
+                    return (src, noncontrolling)
+            return None
+        if good[site_gate] == faulty[site_gate]:
+            return None  # effect masked at the site gate itself
+        frontier = self._d_frontier(good, faulty)
+        if not frontier:
+            return None
+        if not self._x_path_exists(frontier, good, faulty):
+            return None
+        # Prefer frontier gates closest to an observation point, but keep
+        # trying the others: a frontier gate may have no free side input
+        # (its faulty output is X through a partially-specified D chain)
+        # while another is still sensitizable.
+        for gate_idx in sorted(frontier,
+                               key=lambda i: -self.circuit.level(i)):
+            g = self.circuit.gates[gate_idx]
+            ctrl = controlling_value(g.kind)
+            noncontrolling = 1 - ctrl if ctrl is not None else 1
+            for pin, src in enumerate(g.fanin):
+                if good[src] == X:
+                    return (src, noncontrolling)
+        return None
+
+    def _d_frontier(self, good: list[int], faulty: list[int]) -> list[int]:
+        """Gates whose inputs carry a fault effect but whose output is X."""
+        out: list[int] = []
+        for idx in self._order:
+            if good[idx] != X and faulty[idx] != X:
+                continue
+            g = self.circuit.gates[idx]
+            for s in g.fanin:
+                if good[s] != X and faulty[s] != X and good[s] != faulty[s]:
+                    out.append(idx)
+                    break
+        return out
+
+    def _x_path_exists(self, frontier: list[int], good: list[int],
+                       faulty: list[int]) -> bool:
+        """Check some frontier gate reaches an observation point through
+        X-valued gates (necessary condition for future propagation)."""
+        seen: set[int] = set()
+        stack = list(frontier)
+        while stack:
+            u = stack.pop()
+            if u in self._obs_set:
+                return True
+            for v, _pin in self.circuit.fanouts(u):
+                if v in seen:
+                    continue
+                vg = self.circuit.gates[v]
+                if not GateKind.is_combinational(vg.kind):
+                    continue
+                if good[v] == X or faulty[v] == X:
+                    seen.add(v)
+                    stack.append(v)
+        return False
+
+    def _backtrace(self, objective: tuple[int, int],
+                   good: list[int]) -> tuple[int, int] | None:
+        """Map an internal objective to an unassigned source decision.
+
+        Returns None when no unassigned source can influence the objective —
+        the *current decision cube* is a dead end, which must trigger
+        chronological backtracking (not an untestability verdict: other
+        cubes may still succeed).
+        """
+        gate, value = objective
+        guard = 0
+        while gate not in self._source_set:
+            guard += 1
+            if guard > len(self.circuit.gates) + 1:
+                return None  # defensive: should not happen on a DAG
+            g = self.circuit.gates[gate]
+            if g.kind in _INVERTING:
+                value = 1 - value
+            x_pins = [s for s in g.fanin if good[s] == X]
+            if not x_pins:
+                # The objective is already implied; restart from any X source
+                # in the fanin cone to make progress.
+                cone = self.circuit.fanin_cone(gate)
+                free = [s for s in cone
+                        if s in self._source_set and good[s] == X]
+                if not free:
+                    return None
+                return (min(free), value)
+            gate = min(x_pins, key=lambda s: self.circuit.level(s))
+        return (gate, value)
+
+    def _backtrack(self, assignment: dict[int, int],
+                   stack: list[tuple[int, int, bool]]) -> None:
+        """Flip the most recent unflipped decision; raise when exhausted."""
+        self.stats.backtracks += 1
+        if self.stats.backtracks > self.max_backtracks:
+            raise Aborted
+        while stack:
+            src, val, flipped = stack.pop()
+            del assignment[src]
+            if not flipped:
+                assignment[src] = 1 - val
+                self._set_source(src, 1 - val)
+                stack.append((src, 1 - val, True))
+                return
+            self._set_source(src, X)
+        raise Untestable

@@ -1,0 +1,205 @@
+"""Transition-fault test generation (launch/capture pattern pairs).
+
+Stand-in for the commercial ATPG used in the paper's evaluation (Sec. V,
+"compacted transition delay fault test sets with an average test coverage of
+over 99.9 %").  Three phases:
+
+1. **Random phase** — batches of random pattern pairs graded by bit-parallel
+   fault simulation with fault dropping; only patterns detecting new faults
+   are kept.
+2. **Deterministic phase** — for each remaining fault, PODEM generates the
+   capture vector (the transition fault's stuck-at image) and a
+   justification pass produces the launch vector establishing the initial
+   value at the site.
+3. **Compaction** — reverse-order fault dropping removes patterns made
+   redundant by later ones (see :mod:`repro.atpg.compaction`).
+
+Detection criterion (gross-delay / enhanced-scan model): pattern pair
+``(v1, v2)`` detects transition fault φ iff ``v1`` sets the site to the
+initial value and ``v2`` detects the corresponding stuck-at fault.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.atpg.compaction import reverse_order_drop
+from repro.atpg.patterns import PatternPair, TestSet
+from repro.atpg.podem import Podem
+from repro.faults.models import TransitionFault
+from repro.faults.universe import fault_sites
+from repro.netlist.circuit import Circuit
+from repro.simulation.logic import X
+from repro.simulation.parallel_sim import BitParallelSimulator
+
+
+@dataclass
+class AtpgResult:
+    """Outcome of transition-fault test generation."""
+
+    test_set: TestSet
+    faults: list[TransitionFault]
+    detected: set[TransitionFault] = field(default_factory=set)
+    untestable: set[TransitionFault] = field(default_factory=set)
+    aborted: set[TransitionFault] = field(default_factory=set)
+
+    @property
+    def coverage(self) -> float:
+        """Detected / (total - untestable), in [0, 1]."""
+        testable = len(self.faults) - len(self.untestable)
+        if testable <= 0:
+            return 1.0
+        return len(self.detected) / testable
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "patterns": len(self.test_set),
+            "faults": len(self.faults),
+            "detected": len(self.detected),
+            "untestable": len(self.untestable),
+            "aborted": len(self.aborted),
+            "coverage": round(self.coverage, 4),
+        }
+
+
+def transition_fault_list(circuit: Circuit) -> list[TransitionFault]:
+    """Both-polarity transition faults at every gate pin."""
+    out: list[TransitionFault] = []
+    for site in fault_sites(circuit):
+        out.append(TransitionFault(site, slow_to_rise=True))
+        out.append(TransitionFault(site, slow_to_rise=False))
+    return out
+
+
+def detect_masks(circuit: Circuit, sim: BitParallelSimulator,
+                 test_set: TestSet, faults: list[TransitionFault],
+                 *, seed: int = 0) -> dict[TransitionFault, int]:
+    """Per-fault bitmask of detecting patterns (bit p ↔ pattern p)."""
+    filled = test_set.filled(seed=seed)
+    launch_vecs = [p.launch for p in filled]
+    capture_vecs = [p.capture for p in filled]
+    if not launch_vecs:
+        return {f: 0 for f in faults}
+    launch_words, width = sim.pack_vectors(launch_vecs)
+    capture_words, _ = sim.pack_vectors(capture_vecs)
+    good_launch = sim.simulate(launch_words, width)
+    good_capture = sim.simulate(capture_words, width)
+    mask = (1 << width) - 1
+
+    out: dict[TransitionFault, int] = {}
+    for f in faults:
+        sig = f.site.signal_gate(circuit)
+        launch_word = good_launch[sig]
+        act = (mask ^ launch_word) if f.launch_value == 0 else launch_word
+        if act == 0:
+            out[f] = 0
+            continue
+        det = sim.stuck_at_detect_mask(good_capture, f.as_stuck_at(), width)
+        out[f] = act & det
+    return out
+
+
+def generate_transition_tests(
+    circuit: Circuit,
+    *,
+    seed: int = 0,
+    faults: list[TransitionFault] | None = None,
+    random_batch: int = 32,
+    max_random_batches: int = 20,
+    stale_batches: int = 3,
+    max_backtracks: int = 512,
+    compact: bool = True,
+) -> AtpgResult:
+    """Generate a compacted transition-fault pattern-pair set."""
+    rng = random.Random(seed)
+    fault_list = faults if faults is not None else transition_fault_list(circuit)
+    sim = BitParallelSimulator(circuit)
+    width = len(circuit.sources())
+
+    test_set = TestSet(circuit)
+    undetected: set[TransitionFault] = set(fault_list)
+    detected: set[TransitionFault] = set()
+
+    # ------------------------------------------------------------------
+    # Phase 1: random patterns with fault dropping
+    # ------------------------------------------------------------------
+    stale = 0
+    for _ in range(max_random_batches):
+        if not undetected or stale >= stale_batches:
+            break
+        batch = TestSet(circuit, (
+            PatternPair(
+                tuple(rng.randint(0, 1) for _ in range(width)),
+                tuple(rng.randint(0, 1) for _ in range(width)))
+            for _ in range(random_batch)))
+        masks = detect_masks(circuit, sim, batch, sorted(undetected), seed=seed)
+        useful_bits = 0
+        newly: set[TransitionFault] = set()
+        for f, m in masks.items():
+            if m:
+                newly.add(f)
+                useful_bits |= m & (-m)  # keep the first detecting pattern
+        if not newly:
+            stale += 1
+            continue
+        stale = 0
+        for p in range(len(batch)):
+            if useful_bits >> p & 1:
+                test_set.append(batch[p])
+        detected |= newly
+        undetected -= newly
+
+    # ------------------------------------------------------------------
+    # Phase 2: deterministic PODEM for remaining faults
+    # ------------------------------------------------------------------
+    result = AtpgResult(test_set=test_set, faults=list(fault_list),
+                        detected=detected)
+    podem = Podem(circuit, max_backtracks=max_backtracks, seed=seed)
+    sources = circuit.sources()
+    worklist = sorted(undetected)
+    remaining = set(undetected)
+    for f in worklist:
+        if f not in remaining:
+            continue  # dropped by an earlier deterministic pattern
+        capture_assign = podem.generate(f.as_stuck_at())
+        if capture_assign is None:
+            (result.aborted if podem.stats.aborted
+             else result.untestable).add(f)
+            remaining.discard(f)
+            continue
+        launch_assign = podem.justify(f.site.signal_gate(circuit),
+                                      f.launch_value)
+        if launch_assign is None:
+            (result.aborted if podem.stats.aborted
+             else result.untestable).add(f)
+            remaining.discard(f)
+            continue
+        launch = tuple(launch_assign.get(s, X) for s in sources)
+        capture = tuple(capture_assign.get(s, X) for s in sources)
+        pair = PatternPair(launch, capture).filled(rng)
+        # Fault dropping: grade the new pattern against *all* remaining
+        # faults so later PODEM calls are skipped for collaterally
+        # detected ones.
+        masks = detect_masks(circuit, sim, TestSet(circuit, [pair]),
+                             sorted(remaining), seed=seed)
+        if masks[f]:
+            test_set.append(pair)
+            dropped = {g for g, m in masks.items() if m}
+            result.detected |= dropped
+            remaining -= dropped
+        else:
+            # Random fill spoiled the sensitization; treat as aborted.
+            result.aborted.add(f)
+            remaining.discard(f)
+
+    # ------------------------------------------------------------------
+    # Phase 3: static compaction (reverse-order fault dropping)
+    # ------------------------------------------------------------------
+    if compact and len(test_set) > 1:
+        masks = detect_masks(circuit, sim, test_set,
+                             sorted(result.detected), seed=seed)
+        kept = reverse_order_drop(len(test_set), masks.values())
+        result.test_set = test_set.subset(kept)
+
+    return result

@@ -1,0 +1,24 @@
+"""Benchmark circuits: embedded ISCAS examples and deterministic synthetic
+scan-circuit generation that mimics the structural statistics of the paper's
+evaluation suite (s9234 … p141k) at a configurable scale."""
+
+from repro.circuits.generators import CircuitProfile, generate_circuit
+from repro.circuits.library import (
+    PAPER_SUITE,
+    SuiteEntry,
+    embedded_circuit,
+    paper_suite,
+    scaled_profile,
+    suite_circuit,
+)
+
+__all__ = [
+    "CircuitProfile",
+    "generate_circuit",
+    "PAPER_SUITE",
+    "SuiteEntry",
+    "embedded_circuit",
+    "paper_suite",
+    "scaled_profile",
+    "suite_circuit",
+]

@@ -1,0 +1,201 @@
+"""Deterministic synthetic scan-circuit generation.
+
+The paper evaluates on ISCAS'89 and industrial netlists synthesized with a
+45 nm library.  Those netlists are not redistributable, so experiments here
+run on *synthetic* circuits with controlled structural statistics: gate
+count, flip-flop count, logic depth profile, gate-kind mix, fanout skew and
+reconvergence.  What the method is sensitive to is the resulting *path
+length distribution* at the observation points — short paths produce hidden
+delay faults, long paths produce at-speed-detectable ones — and the
+generator exposes exactly those knobs.
+
+Generation is fully deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.netlist.cells import CellLibrary
+from repro.netlist.circuit import Circuit, GateKind
+
+#: Default gate-kind mix, loosely matching area-optimized synthesis output
+#: (NAND/NOR-rich with some wide gates and a little XOR).
+DEFAULT_KIND_WEIGHTS: dict[str, float] = {
+    GateKind.NAND: 0.30,
+    GateKind.NOR: 0.18,
+    GateKind.AND: 0.14,
+    GateKind.OR: 0.12,
+    GateKind.NOT: 0.14,
+    GateKind.XOR: 0.06,
+    GateKind.XNOR: 0.03,
+    GateKind.BUF: 0.03,
+}
+
+
+@dataclass(frozen=True)
+class CircuitProfile:
+    """Structural recipe for one synthetic circuit."""
+
+    name: str
+    n_gates: int
+    n_ffs: int
+    n_inputs: int = 16
+    n_outputs: int = 8
+    depth: int = 12
+    seed: int = 1
+    #: Probability that a fanin edge reaches back beyond the previous level
+    #: (controls reconvergence and short-path abundance).
+    long_edge_prob: float = 0.35
+    #: Fraction of flip-flops fed from shallow logic (short-path PPOs — the
+    #: population whose faults conventional FAST cannot reach).
+    short_path_ppo_fraction: float = 0.45
+    #: Number of *exclusive* shallow side gates merged into each flip-flop's
+    #: endpoint driver (near-endpoint enables/muxes in real designs).  Fault
+    #: effects inside these side trees reach only their own flip-flop over a
+    #: very short path — the population programmable monitors recover.
+    endpoint_side_gates: int = 1
+    kind_weights: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_KIND_WEIGHTS))
+
+    def __post_init__(self) -> None:
+        if self.n_gates < self.depth:
+            raise ValueError("need at least one gate per level")
+        if self.n_inputs < 2:
+            raise ValueError("need at least two primary inputs")
+        if not 0.0 <= self.short_path_ppo_fraction <= 1.0:
+            raise ValueError("short_path_ppo_fraction must lie in [0, 1]")
+
+
+def generate_circuit(profile: CircuitProfile, *,
+                     library: CellLibrary | None = None) -> Circuit:
+    """Build and finalize a synthetic circuit from a profile."""
+    rng = random.Random(profile.seed)
+    circuit = Circuit(profile.name)
+
+    pis = [circuit.add_input(f"pi{i}") for i in range(profile.n_inputs)]
+    ffs = [circuit.add_dff(f"ff{i}", None) for i in range(profile.n_ffs)]
+    sources = pis + ffs
+
+    # ------------------------------------------------------------------
+    # Distribute gates over levels: bulge in the middle, thin at the ends.
+    # ------------------------------------------------------------------
+    weights = [1.0 + 2.0 * min(lv, profile.depth - 1 - lv)
+               for lv in range(profile.depth)]
+    total_w = sum(weights)
+    per_level = [max(1, int(round(profile.n_gates * w / total_w)))
+                 for w in weights]
+    while sum(per_level) > profile.n_gates:
+        per_level[per_level.index(max(per_level))] -= 1
+    while sum(per_level) < profile.n_gates:
+        per_level[per_level.index(min(per_level))] += 1
+
+    kinds = list(profile.kind_weights)
+    kind_w = [profile.kind_weights[k] for k in kinds]
+
+    levels: list[list[int]] = [list(sources)]
+    unused: set[int] = set(sources)
+    gid = 0
+    for lv in range(profile.depth):
+        this_level: list[int] = []
+        prev = levels[-1]
+        earlier = [g for lvl in levels[:-1] for g in lvl]
+        for _ in range(per_level[lv]):
+            kind = rng.choices(kinds, weights=kind_w, k=1)[0]
+            arity = 1 if kind in (GateKind.NOT, GateKind.BUF) else (
+                2 if kind in (GateKind.XOR, GateKind.XNOR)
+                else rng.choices([2, 3, 4], weights=[0.70, 0.22, 0.08], k=1)[0])
+            fanin: list[int] = []
+            # First pin: keep the level structure (and consume unused nets).
+            pool = [g for g in prev if g in unused] or prev
+            fanin.append(rng.choice(pool))
+            while len(fanin) < arity:
+                if earlier and rng.random() < profile.long_edge_prob:
+                    cand = rng.choice(earlier)
+                else:
+                    cand = rng.choice(prev)
+                if cand not in fanin:
+                    fanin.append(cand)
+                elif arity > len(prev) + len(earlier):
+                    break  # tiny circuits: accept fewer pins
+            if len(fanin) == 1 and kind not in (GateKind.NOT, GateKind.BUF):
+                kind = GateKind.BUF
+            idx = circuit.add_gate(f"g{gid}", kind, fanin)
+            gid += 1
+            unused -= set(fanin)
+            unused.add(idx)
+            this_level.append(idx)
+        levels.append(this_level)
+
+    all_gates = [g for lvl in levels[1:] for g in lvl]
+
+    # ------------------------------------------------------------------
+    # Flip-flop data inputs: every flip-flop gets an *exclusive* endpoint
+    # driver merging a main signal (deep for long-path FFs, shallow for
+    # short-path FFs) with shallow side logic.  Faults in the side logic
+    # propagate to exactly one flip-flop over a very short path — in real
+    # designs these are the enables/selects feeding the capture mux.
+    # ------------------------------------------------------------------
+    by_depth = sorted(all_gates, key=lambda g: circuit.gates[g].index)
+    deep_pool = [g for lvl in levels[max(1, profile.depth // 2):]
+                 for g in lvl]
+    shallow_pool = [g for lvl in levels[1:max(2, profile.depth // 3)]
+                    for g in lvl] or by_depth
+    n_shallow = int(round(profile.short_path_ppo_fraction * profile.n_ffs))
+    two_in_kinds = [GateKind.NAND, GateKind.NOR, GateKind.AND, GateKind.OR]
+
+    def build_side_tree(ff_idx: int) -> list[int]:
+        """Exclusive shallow gates combining primary inputs.
+
+        At most three side signals are returned so the endpoint gate stays
+        within the library's 4-input cells; larger budgets fold pairs of
+        side gates into a second tree level.
+        """
+        nonlocal gid
+        side: list[int] = []
+        for s in range(profile.endpoint_side_gates):
+            a, b = rng.sample(pis, 2) if len(pis) >= 2 else (pis[0], pis[0])
+            fanin = [a, b] if a != b else [a]
+            kind = (rng.choice(two_in_kinds) if len(fanin) == 2
+                    else GateKind.NOT)
+            side.append(circuit.add_gate(f"side{ff_idx}_{s}", kind, fanin))
+            gid += 1
+        fold = 0
+        while len(side) > 3:
+            a, b = side.pop(0), side.pop(0)
+            side.append(circuit.add_gate(
+                f"sidef{ff_idx}_{fold}", rng.choice(two_in_kinds), [a, b]))
+            fold += 1
+            gid += 1
+        return side
+
+    for i, ff in enumerate(ffs):
+        pool = shallow_pool if i < n_shallow else (deep_pool or by_depth)
+        preferred = [g for g in pool if g in unused]
+        main = rng.choice(preferred or pool)
+        unused.discard(main)
+        side = build_side_tree(i)
+        if side:
+            kind = rng.choice(two_in_kinds)
+            endpoint = circuit.add_gate(f"ep{i}", kind, [main, *side])
+            gid += 1
+        else:
+            endpoint = main
+        circuit.connect_dff(circuit.gates[ff].name, endpoint)
+
+    # ------------------------------------------------------------------
+    # Primary outputs: deepest remaining unused nets first, then random.
+    # ------------------------------------------------------------------
+    po_pool = sorted(unused & set(all_gates)) or all_gates
+    rng.shuffle(po_pool)
+    for g in po_pool[:profile.n_outputs]:
+        circuit.mark_output(g)
+    n_missing = profile.n_outputs - len(po_pool)
+    if n_missing > 0:
+        extra = [g for g in all_gates if g not in circuit.outputs]
+        rng.shuffle(extra)
+        for g in extra[:n_missing]:
+            circuit.mark_output(g)
+
+    return circuit.finalize(library=library)

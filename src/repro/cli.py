@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Subcommands:
+
+* ``flow``    — run the complete HDF test flow on a ``.bench`` / ``.v``
+  netlist (or a named built-in circuit) and print the paper-style summary.
+* ``tables``  — regenerate Table I/II/III over the (scaled) paper suite.
+* ``fig3``    — print the HDF-coverage-vs-f_max sweep for one circuit.
+* ``aging``   — lifetime simulation with monitor alerts and failure
+  prediction for a circuit.
+* ``generate``— emit a synthetic benchmark circuit as ``.bench``.
+
+Examples::
+
+    python -m repro flow s27
+    python -m repro flow my_design.bench --monitor-fraction 0.5
+    python -m repro tables --suite s9234 s13207 --scale 0.6
+    python -m repro fig3 s13207
+    python -m repro aging s27 --marginal 2
+    python -m repro generate demo.bench --gates 200 --ffs 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.circuits.generators import CircuitProfile, generate_circuit
+from repro.circuits.library import PAPER_SUITE, embedded_circuit, paper_suite, suite_circuit
+from repro.core import FlowConfig, HdfTestFlow
+from repro.netlist.bench import load_bench, save_bench
+from repro.netlist.circuit import Circuit
+from repro.netlist.verilog import load_verilog
+
+
+def _load_circuit(spec: str) -> Circuit:
+    """Resolve a circuit argument: file path, embedded or suite name."""
+    path = Path(spec)
+    if path.suffix == ".bench" and path.exists():
+        return load_bench(path)
+    if path.suffix in (".v", ".sv") and path.exists():
+        return load_verilog(path)
+    try:
+        return embedded_circuit(spec)
+    except KeyError:
+        pass
+    if spec in {e.name for e in PAPER_SUITE}:
+        return suite_circuit(spec)
+    raise SystemExit(f"error: cannot resolve circuit {spec!r} "
+                     f"(not a file, embedded or suite name)")
+
+
+def _flow_config(args: argparse.Namespace) -> FlowConfig:
+    return FlowConfig(
+        fast_ratio=args.fast_ratio,
+        monitor_fraction=args.monitor_fraction,
+        pattern_cap=args.pattern_cap,
+        atpg_seed=args.seed,
+    )
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+
+    circuit = _load_circuit(args.circuit)
+    result = HdfTestFlow(circuit, _flow_config(args)).run(
+        with_schedules=True,
+        progress=(lambda m: print(f"  [flow] {m}", file=sys.stderr))
+        if args.verbose else None)
+    print(format_table([result.table1_row()], title="HDF coverage"))
+    print(format_table([result.table2_row()], title="Schedule optimization"))
+    prop = result.schedules["prop"]
+    if args.show_schedule:
+        for e in prop.entries:
+            cfg = "FF-only" if e.config < 0 else f"d={result.configs[e.config]:.1f}ps"
+            print(f"  t={e.period:9.2f} ps  pattern #{e.pattern:<4d}  {cfg}")
+    if args.export:
+        from repro.scheduling.export import save_schedule, write_tester_program
+
+        out = Path(args.export)
+        save_schedule(prop, out)
+        program = write_tester_program(prop, result.configs,
+                                       circuit_name=circuit.name,
+                                       t_nom=result.clock.t_nom)
+        out.with_suffix(".fast").write_text(program)
+        print(f"exported schedule to {out} and {out.with_suffix('.fast')}")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.experiments.runner import SuiteRunConfig
+    from repro.experiments.table1 import table1_rows
+    from repro.experiments.table2 import table2_rows
+    from repro.experiments.table3 import table3_rows
+
+    names = tuple(args.suite) if args.suite else tuple(
+        e.name for e in paper_suite())
+    cfg = SuiteRunConfig(names=names, scale=args.scale, with_schedules=True,
+                         with_coverage_schedules=args.table3)
+    print(format_table(table1_rows(cfg), title="Table I"))
+    print(format_table(table2_rows(cfg), title="Table II"))
+    if args.table3:
+        print(format_table(table3_rows(cfg), title="Table III"))
+    return 0
+
+
+def cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments.fig3 import fig3_series
+    from repro.experiments.reporting import format_table
+
+    circuit = _load_circuit(args.circuit)
+    result = HdfTestFlow(circuit, _flow_config(args)).run(
+        with_schedules=False)
+    rows = [
+        {"fmax/fnom": p.fmax_ratio,
+         "conv_%": round(100 * p.conv_coverage, 1),
+         "prop_%": round(100 * p.prop_coverage, 1)}
+        for p in fig3_series(result)
+    ]
+    print(format_table(rows, title=f"Fig. 3 — {circuit.name}"))
+    return 0
+
+
+def cmd_aging(args: argparse.Namespace) -> int:
+    from repro.aging import (
+        AgingScenario,
+        FailurePredictor,
+        LifetimeSimulator,
+        inject_marginal_defects,
+    )
+    from repro.monitors import MonitorConfigSet, insert_monitors
+    from repro.timing import ClockSpec, run_sta
+
+    circuit = _load_circuit(args.circuit)
+    sta = run_sta(circuit)
+    clock = ClockSpec(args.margin * sta.critical_path)
+    configs = MonitorConfigSet.paper_default(clock.t_nom)
+    placement = insert_monitors(circuit, sta, configs,
+                                fraction=args.monitor_fraction)
+    marginal = (inject_marginal_defects(circuit, count=args.marginal,
+                                        seed=args.seed)
+                if args.marginal else None)
+    sim = LifetimeSimulator(circuit, clock, placement,
+                            scenario=AgingScenario(seed=args.seed),
+                            marginal=marginal, seed=args.seed)
+    times = [0.25 * 2 ** k for k in range(args.steps)]
+    result = sim.run(times)
+    for p in result.points:
+        alerting = [f"d{ci}" for ci, hit in p.alerts.items() if hit]
+        print(f"t={p.t:8.2f}  cpl={p.critical_path:9.1f} ps  "
+              f"slack={p.slack:8.1f} ps  alerts={','.join(alerting) or '-'}"
+              f"{'  FAILED' if p.failed else ''}")
+    print("prediction:", FailurePredictor().predict(result).summary())
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    profile = CircuitProfile(
+        name=Path(args.output).stem, n_gates=args.gates, n_ffs=args.ffs,
+        n_inputs=args.inputs, n_outputs=args.outputs, depth=args.depth,
+        seed=args.seed)
+    circuit = generate_circuit(profile)
+    save_bench(circuit, args.output)
+    print(f"wrote {args.output}: {circuit.stats()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Programmable delay monitors for wear-out and "
+                    "early-life failure prediction (DATE 2020 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_flow_args(p):
+        p.add_argument("circuit", help=".bench/.v file, embedded (s27, c17) "
+                                       "or suite circuit name")
+        p.add_argument("--fast-ratio", type=float, default=3.0)
+        p.add_argument("--monitor-fraction", type=float, default=0.25)
+        p.add_argument("--pattern-cap", type=int, default=None)
+        p.add_argument("--seed", type=int, default=7)
+
+    p_flow = sub.add_parser("flow", help="run the full HDF test flow")
+    add_flow_args(p_flow)
+    p_flow.add_argument("--show-schedule", action="store_true")
+    p_flow.add_argument("--export", metavar="FILE.json", default=None,
+                        help="write the schedule as JSON plus a .fast "
+                             "tester program")
+    p_flow.add_argument("--verbose", action="store_true")
+    p_flow.set_defaults(func=cmd_flow)
+
+    p_tables = sub.add_parser("tables", help="regenerate Tables I-III")
+    p_tables.add_argument("--suite", nargs="*", default=None,
+                          help="subset of suite circuit names")
+    p_tables.add_argument("--scale", type=float, default=1.0)
+    p_tables.add_argument("--table3", action="store_true",
+                          help="also compute the coverage-target sweep")
+    p_tables.set_defaults(func=cmd_tables)
+
+    p_fig3 = sub.add_parser("fig3", help="coverage vs f_max sweep")
+    add_flow_args(p_fig3)
+    p_fig3.set_defaults(func=cmd_fig3)
+
+    p_aging = sub.add_parser("aging", help="lifetime simulation + prediction")
+    p_aging.add_argument("circuit")
+    p_aging.add_argument("--monitor-fraction", type=float, default=1.0)
+    p_aging.add_argument("--marginal", type=int, default=0,
+                         help="number of weak gates to inject")
+    p_aging.add_argument("--margin", type=float, default=1.15,
+                         help="clock margin over the critical path")
+    p_aging.add_argument("--steps", type=int, default=9)
+    p_aging.add_argument("--seed", type=int, default=1)
+    p_aging.set_defaults(func=cmd_aging)
+
+    p_gen = sub.add_parser("generate", help="emit a synthetic .bench circuit")
+    p_gen.add_argument("output")
+    p_gen.add_argument("--gates", type=int, default=120)
+    p_gen.add_argument("--ffs", type=int, default=24)
+    p_gen.add_argument("--inputs", type=int, default=12)
+    p_gen.add_argument("--outputs", type=int, default=8)
+    p_gen.add_argument("--depth", type=int, default=10)
+    p_gen.add_argument("--seed", type=int, default=1)
+    p_gen.set_defaults(func=cmd_generate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""The paper's primary contribution, end to end.
+
+:class:`repro.core.flow.HdfTestFlow` implements the complete test flow of
+Fig. 4: topological analysis, timing-accurate fault simulation, detection
+range analysis with programmable monitors, target fault identification and
+ILP-based test schedule optimization.
+"""
+
+from repro.core.config import FlowConfig
+from repro.core.flow import HdfTestFlow
+from repro.core.results import FlowResult
+
+__all__ = ["FlowConfig", "HdfTestFlow", "FlowResult"]

@@ -1,0 +1,145 @@
+"""The complete HDF test flow (Fig. 4).
+
+Steps, mirroring the paper:
+
+1. **Topological analysis** — STA over the netlist timing; at-speed
+   detectable faults (min slack < δ) and timing-redundant HDFs are removed
+   from the initial fault list.
+2. **Timing-accurate fault simulation** of the remaining sites against the
+   (generated or supplied) transition test set.
+3. **Detection ranges** from XOR-ed fault-free/faulty waveforms.
+4. **Monitor analysis** — ranges under every delay-element configuration;
+   faults becoming observable at nominal speed are *monitor at-speed
+   detectable* and removed.
+5. **Target fault set** Φ_tar — detectable only at FAST frequencies.
+6. **Test schedule optimization** — two-step ILP selection of frequencies
+   and (pattern, configuration) combinations, plus the conventional and
+   heuristic baselines and relaxed-coverage variants (Table III).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.atpg.patterns import TestSet
+from repro.atpg.transition import generate_transition_tests
+from repro.core.config import FlowConfig
+from repro.core.results import FlowResult
+from repro.faults.classify import classify_faults, structural_prefilter
+from repro.faults.detection import compute_detection_data
+from repro.faults.universe import small_delay_fault_universe
+from repro.monitors.insertion import insert_monitors
+from repro.monitors.monitor import MonitorConfigSet
+from repro.netlist.circuit import Circuit
+from repro.scheduling.baselines import (
+    conventional_schedule,
+    heuristic_schedule,
+    proposed_schedule,
+)
+from repro.timing.clock import ClockSpec
+from repro.timing.sta import run_sta
+
+
+class HdfTestFlow:
+    """Runs the flow of Fig. 4 on one finalized circuit."""
+
+    def __init__(self, circuit: Circuit,
+                 config: FlowConfig | None = None) -> None:
+        if not circuit.is_finalized:
+            raise ValueError("circuit must be finalized")
+        self.circuit = circuit
+        self.config = config or FlowConfig()
+
+    def run(self, *,
+            test_set: TestSet | None = None,
+            with_schedules: bool = True,
+            with_coverage_schedules: bool = False,
+            progress: Callable[[str], None] | None = None) -> FlowResult:
+        """Execute the flow and return a :class:`FlowResult`.
+
+        ``test_set`` bypasses the built-in ATPG (e.g. to replay an external
+        pattern set); ``with_coverage_schedules`` additionally optimizes the
+        relaxed-coverage schedules of Table III.
+        """
+        cfg = self.config
+        note = progress or (lambda _msg: None)
+
+        # -- Step 0: timing, clocking, monitors --------------------------
+        note("static timing analysis")
+        sta = run_sta(self.circuit)
+        clock = ClockSpec(sta.clock_period, cfg.fast_ratio)
+        configs = MonitorConfigSet(tuple(
+            f * clock.t_nom for f in sorted(cfg.monitor_delay_fractions)))
+        placement = insert_monitors(self.circuit, sta, configs,
+                                    fraction=cfg.monitor_fraction)
+
+        # -- Step 1: fault universe + topological screening ---------------
+        note("fault universe")
+        universe = small_delay_fault_universe(
+            self.circuit, sigma_fraction=cfg.sigma_fraction,
+            n_sigma=cfg.n_sigma)
+        prefilter = None
+        faults = universe
+        if cfg.structural_prefilter:
+            note("structural prefilter")
+            prefilter = structural_prefilter(
+                self.circuit, sta, universe, clock, configs,
+                placement.monitored_gates)
+            faults = prefilter.remaining
+
+        # -- Step 2: pattern set ------------------------------------------
+        atpg = None
+        if test_set is None:
+            note("transition-fault ATPG")
+            atpg = generate_transition_tests(self.circuit, seed=cfg.atpg_seed)
+            test_set = atpg.test_set
+        if cfg.pattern_cap is not None and len(test_set) > cfg.pattern_cap:
+            test_set = test_set.subset(range(cfg.pattern_cap))
+        test_set = test_set.filled(seed=cfg.atpg_seed)
+
+        # -- Steps 3+4: detection ranges under all configurations ---------
+        note(f"fault simulation ({len(faults)} faults x "
+             f"{len(test_set)} patterns)")
+        data = compute_detection_data(
+            self.circuit, faults, test_set,
+            horizon=clock.t_nom,
+            monitored_gates=placement.monitored_gates,
+            inertial=cfg.inertial_ps,
+            jobs=cfg.simulation_jobs)
+
+        # -- Step 5: classification / target faults -----------------------
+        note("fault classification")
+        classification = classify_faults(data, clock, configs)
+
+        result = FlowResult(
+            circuit=self.circuit,
+            sta=sta,
+            clock=clock,
+            configs=configs,
+            placement=placement,
+            universe_size=len(universe),
+            prefilter=prefilter,
+            atpg=atpg,
+            test_set=test_set,
+            data=data,
+            classification=classification,
+        )
+
+        # -- Step 6: schedule optimization ---------------------------------
+        if with_schedules:
+            note("schedule optimization (conv/heur/prop)")
+            result.schedules["conv"] = conventional_schedule(
+                data, classification, clock,
+                time_limit=cfg.ilp_time_limit)
+            result.schedules["heur"] = heuristic_schedule(
+                data, classification, clock, configs)
+            result.schedules["prop"] = proposed_schedule(
+                data, classification, clock, configs,
+                time_limit=cfg.ilp_time_limit)
+        if with_coverage_schedules:
+            for cov in cfg.coverage_targets:
+                note(f"schedule optimization (cov >= {cov:.0%})")
+                result.coverage_schedules[cov] = proposed_schedule(
+                    data, classification, clock, configs, coverage=cov,
+                    time_limit=cfg.ilp_time_limit)
+        return result

@@ -1,0 +1,21 @@
+"""Small-delay-fault diagnosis from FAST failing signatures.
+
+After a deployed monitor raises alerts, or after a FAST run fails, the
+natural question is *which* defect explains the observation.  This package
+implements failing-frequency-signature diagnosis in the spirit of Lee &
+McCluskey's failing frequency signature analysis ([11] in the paper):
+observed (frequency, pattern, configuration, pass/fail) tuples are matched
+against the per-fault detection ranges the flow already computed, and
+candidate faults are ranked by signature consistency.
+"""
+
+from repro.diagnosis.signature import FailingSignature, Observation, collect_signature
+from repro.diagnosis.ranking import DiagnosisCandidate, diagnose
+
+__all__ = [
+    "FailingSignature",
+    "Observation",
+    "collect_signature",
+    "DiagnosisCandidate",
+    "diagnose",
+]

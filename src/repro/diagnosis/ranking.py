@@ -1,0 +1,108 @@
+"""Candidate ranking: match a failing signature against detection ranges.
+
+For every candidate fault φ the stored detection data predicts the outcome
+of each observation: application (t, p, c) *should* fail iff
+``t ∈ i_all(φ,p) ∪ (i_mon(φ,p) + d_c)``.  Candidates are scored by how well
+prediction matches observation:
+
+* a failing observation the fault explains    → true positive,
+* a failing observation it cannot explain     → miss (strongly penalized:
+  the defect must explain every failure under the single-fault assumption),
+* a passing observation it predicts to fail   → false alarm (mildly
+  penalized — detection ranges are pessimistically pulse-filtered, so a
+  predicted-fail may legitimately pass on silicon).
+
+The returned ranking lists candidates by descending score; ties are broken
+deterministically by fault order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.diagnosis.signature import FailingSignature
+from repro.faults.detection import DetectionData
+from repro.faults.models import SmallDelayFault
+from repro.monitors.monitor import MonitorConfigSet
+from repro.scheduling.schedule import FF_ONLY_CONFIG
+
+#: Score weights: (true positive, missed failure, false alarm).
+WEIGHT_TP = 1.0
+WEIGHT_MISS = -4.0
+WEIGHT_FALSE_ALARM = -0.25
+
+
+@dataclass(frozen=True)
+class DiagnosisCandidate:
+    """One ranked explanation of the signature."""
+
+    fault_index: int
+    fault: SmallDelayFault
+    score: float
+    explained: int
+    missed: int
+    false_alarms: int
+
+    @property
+    def explains_all_failures(self) -> bool:
+        return self.missed == 0
+
+
+def predicts_failure(data: DetectionData, fault_idx: int, period: float,
+                     pattern: int, config: int,
+                     configs: MonitorConfigSet) -> bool:
+    """Would fault ``fault_idx`` fail the given application, per the model?"""
+    fpr = data.ranges.get(fault_idx, {}).get(pattern)
+    if fpr is None:
+        return False
+    if fpr.i_all.contains(period):
+        return True
+    if config == FF_ONLY_CONFIG:
+        return False
+    return fpr.i_mon.shifted(configs[config]).contains(period)
+
+
+def diagnose(data: DetectionData, configs: MonitorConfigSet,
+             signature: FailingSignature, *,
+             candidates: Iterable[int] | None = None,
+             max_results: int = 10) -> list[DiagnosisCandidate]:
+    """Rank candidate faults against the observed signature.
+
+    ``candidates`` restricts the search (defaults to every fault with
+    recorded detection ranges).  Only candidates explaining at least one
+    failing observation are returned.
+    """
+    pool = sorted(candidates) if candidates is not None else sorted(data.ranges)
+    ranked: list[DiagnosisCandidate] = []
+    for fi in pool:
+        explained = missed = false_alarms = 0
+        for obs in signature.observations:
+            predicted = predicts_failure(data, fi, obs.period, obs.pattern,
+                                         obs.config, configs)
+            if obs.failed and predicted:
+                explained += 1
+            elif obs.failed and not predicted:
+                missed += 1
+            elif not obs.failed and predicted:
+                false_alarms += 1
+        if explained == 0:
+            continue
+        score = (WEIGHT_TP * explained + WEIGHT_MISS * missed
+                 + WEIGHT_FALSE_ALARM * false_alarms)
+        ranked.append(DiagnosisCandidate(
+            fault_index=fi, fault=data.faults[fi], score=score,
+            explained=explained, missed=missed, false_alarms=false_alarms))
+    ranked.sort(key=lambda c: (-c.score, c.fault_index))
+    return ranked[:max_results]
+
+
+def resolution(ranked: list[DiagnosisCandidate], true_fault: int) -> int | None:
+    """1-based rank of the true fault in the candidate list (None if absent).
+
+    The standard diagnosis quality metric: rank 1 means perfect resolution.
+    """
+    for i, c in enumerate(ranked, start=1):
+        if c.fault_index == true_fault:
+            return i
+    return None

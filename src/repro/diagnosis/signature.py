@@ -1,0 +1,100 @@
+"""Failing signatures: what the tester actually observed.
+
+An :class:`Observation` is one applied (period, pattern, configuration)
+with its pass/fail outcome; a :class:`FailingSignature` is the collection
+gathered over a test session.  :func:`collect_signature` builds the
+signature for a *known* injected fault by re-simulating the device — the
+ground-truth generator used in tests, examples and fault-injection
+campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.results import FlowResult
+from repro.faults.models import SmallDelayFault
+from repro.scheduling.schedule import FF_ONLY_CONFIG, ScheduleEntry
+from repro.simulation.wave_sim import WaveformSimulator
+
+
+@dataclass(frozen=True, order=True)
+class Observation:
+    """One test application and its outcome."""
+
+    period: float
+    pattern: int
+    config: int
+    failed: bool
+
+
+@dataclass
+class FailingSignature:
+    """All observations of one device under test."""
+
+    observations: list[Observation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.observations.sort()
+
+    @property
+    def failing(self) -> list[Observation]:
+        return [o for o in self.observations if o.failed]
+
+    @property
+    def passing(self) -> list[Observation]:
+        return [o for o in self.observations if not o.failed]
+
+    @property
+    def has_failures(self) -> bool:
+        return any(o.failed for o in self.observations)
+
+    def __len__(self) -> int:
+        return len(self.observations)
+
+
+def observe_entry(result: FlowResult, fault: SmallDelayFault,
+                  entry: ScheduleEntry, *,
+                  sim: WaveformSimulator | None = None) -> bool:
+    """Ground truth: does the device with ``fault`` fail this application?
+
+    Re-simulates the pattern on the faulty machine and compares the values
+    captured by the standard flip-flops at ``t`` and — when a monitor
+    configuration is active — by the shadow registers at ``t - d``.
+    """
+    sim = sim or WaveformSimulator(result.circuit)
+    pattern = result.test_set[entry.pattern]
+    base = sim.simulate(pattern.launch, pattern.capture)
+    faulty = sim.simulate_fault(base, fault)
+    t = entry.period
+    d = (None if entry.config == FF_ONLY_CONFIG
+         else result.configs[entry.config])
+    for op in result.circuit.observation_points():
+        og = op.gate
+        if base.waveforms[og].value_at(t) != faulty.waveforms[og].value_at(t):
+            return True
+        if d is not None and og in result.placement.monitored_gates and \
+                base.waveforms[og].value_at(t - d) != \
+                faulty.waveforms[og].value_at(t - d):
+            return True
+    return False
+
+
+def collect_signature(result: FlowResult, fault: SmallDelayFault,
+                      entries: Iterable[ScheduleEntry] | None = None
+                      ) -> FailingSignature:
+    """Apply a schedule to a device carrying ``fault`` and log outcomes.
+
+    Defaults to the proposed schedule's entries; any entry list works
+    (e.g. an adaptive diagnosis pattern set).
+    """
+    if entries is None:
+        entries = result.schedules["prop"].entries
+    sim = WaveformSimulator(result.circuit)
+    observations = [
+        Observation(period=e.period, pattern=e.pattern, config=e.config,
+                    failed=observe_entry(result, fault, e, sim=sim))
+        for e in entries
+    ]
+    return FailingSignature(observations)

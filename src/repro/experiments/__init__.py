@@ -1,0 +1,27 @@
+"""Experiment drivers reproducing the paper's evaluation (Sec. V).
+
+One module per artifact: :mod:`fig3` (coverage vs f_max), :mod:`table1`
+(HDF coverage gain), :mod:`table2` (schedule optimization), :mod:`table3`
+(relaxed coverage targets), plus the shared :mod:`runner` and plain-text
+:mod:`reporting`.  :mod:`paper_data` embeds the published numbers so every
+run can be compared against the paper.
+"""
+
+from repro.experiments.runner import SuiteRunConfig, run_suite
+from repro.experiments.fig3 import Fig3Point, fig3_series
+from repro.experiments.robustness import RobustnessPoint, robustness_study
+from repro.experiments.table1 import table1_rows
+from repro.experiments.table2 import table2_rows
+from repro.experiments.table3 import table3_rows
+
+__all__ = [
+    "SuiteRunConfig",
+    "run_suite",
+    "Fig3Point",
+    "fig3_series",
+    "RobustnessPoint",
+    "robustness_study",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+]

@@ -1,0 +1,84 @@
+"""Plain-text rendering and paper-vs-measured comparison of experiment rows."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.experiments.paper_data import PAPER_TABLE1, PAPER_TABLE2
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None, *,
+                 title: str | None = None) -> str:
+    """Render dict rows as an aligned monospace table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)\n"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells))
+              for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(v.rjust(w) if _num(v) else v.ljust(w)
+                               for v, w in zip(r, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.1f}"
+    return str(v)
+
+
+def _num(v: str) -> bool:
+    try:
+        float(v)
+        return True
+    except ValueError:
+        return False
+
+
+def compare_table1(rows: Iterable[Mapping[str, object]]) -> list[dict[str, object]]:
+    """Side-by-side measured-vs-paper gain for Table I rows.
+
+    ``shape_match`` records whether the sign and rough ordering of the gain
+    agree with the paper (the reproduction criterion — absolute values are
+    on different circuits).
+    """
+    out: list[dict[str, object]] = []
+    for row in rows:
+        name = str(row["circuit"])
+        paper = PAPER_TABLE1.get(name)
+        if paper is None:
+            continue
+        paper_gain = paper[6]
+        measured_gain = float(row["gain_percent"])  # type: ignore[arg-type]
+        out.append({
+            "circuit": name,
+            "paper_gain_percent": paper_gain,
+            "measured_gain_percent": round(measured_gain, 1),
+            "both_positive": (paper_gain > 0) == (measured_gain > 0),
+        })
+    return out
+
+
+def compare_table2(rows: Iterable[Mapping[str, object]]) -> list[dict[str, object]]:
+    """Measured-vs-paper shape check for Table II: does ILP beat (or match)
+    the heuristic, and is the schedule reduction in the paper's 73-98 % band?"""
+    out: list[dict[str, object]] = []
+    for row in rows:
+        name = str(row["circuit"])
+        paper = PAPER_TABLE2.get(name)
+        if paper is None:
+            continue
+        out.append({
+            "circuit": name,
+            "paper_dpc_percent": paper[6],
+            "measured_dpc_percent": row["pc_reduction_percent"],
+            "ilp_beats_heuristic": (row["freq_prop"] <= row["freq_heur"]),
+        })
+    return out

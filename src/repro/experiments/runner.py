@@ -1,0 +1,83 @@
+"""Shared suite runner with in-process caching.
+
+All table/figure drivers replay the same flow over the (scaled) evaluation
+suite; the runner executes each circuit once per parameterization and caches
+the :class:`FlowResult` so Table I/II/III and Fig. 3 drivers — and the
+benchmark harness, which calls them repeatedly — share the expensive fault
+simulation.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.circuits.library import QUICK_SUITE_NAMES, paper_suite, suite_circuit
+from repro.core.config import FlowConfig
+from repro.core.flow import HdfTestFlow
+from repro.core.results import FlowResult
+
+
+def _default_jobs() -> int:
+    """Worker processes for fault simulation (env ``REPRO_JOBS``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass(frozen=True)
+class SuiteRunConfig:
+    """Parameters of one suite replay."""
+
+    names: tuple[str, ...] = tuple(e.name for e in paper_suite())
+    scale: float = 1.0
+    with_schedules: bool = True
+    with_coverage_schedules: bool = False
+    fast_ratio: float = 3.0
+    monitor_fraction: float = 0.25
+    atpg_seed: int = 7
+
+    @classmethod
+    def quick(cls, **overrides: object) -> "SuiteRunConfig":
+        """Four small circuits at reduced scale — tests and CI benchmarks."""
+        base = cls(names=tuple(QUICK_SUITE_NAMES), scale=0.6)
+        return replace(base, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass
+class _CacheEntry:
+    results: dict[str, FlowResult] = field(default_factory=dict)
+
+
+_CACHE: dict[SuiteRunConfig, _CacheEntry] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def run_suite(config: SuiteRunConfig | None = None,
+              *, progress: bool = False) -> dict[str, FlowResult]:
+    """Run (or fetch cached) flow results for every circuit of the config."""
+    cfg = config or SuiteRunConfig()
+    entry = _CACHE.setdefault(cfg, _CacheEntry())
+    suite = {e.name: e for e in paper_suite(list(cfg.names))}
+    for name in cfg.names:
+        if name in entry.results:
+            continue
+        suite_entry = suite[name]
+        circuit = suite_circuit(name, scale=cfg.scale)
+        flow_config = FlowConfig(
+            fast_ratio=cfg.fast_ratio,
+            monitor_fraction=cfg.monitor_fraction,
+            atpg_seed=cfg.atpg_seed,
+            pattern_cap=suite_entry.pattern_budget(scale=cfg.scale),
+            simulation_jobs=_default_jobs(),
+        )
+        note = (lambda m, _n=name: print(f"[{_n}] {m}")) if progress else None
+        entry.results[name] = HdfTestFlow(circuit, flow_config).run(
+            with_schedules=cfg.with_schedules,
+            with_coverage_schedules=cfg.with_coverage_schedules,
+            progress=note)
+    return {name: entry.results[name] for name in cfg.names}

@@ -1,0 +1,21 @@
+"""Table I — circuit statistics and targeted hidden delay faults.
+
+Columns per circuit: gates, FFs, |P|, |M|, HDFs detected by conventional
+FAST, by the proposed monitor-reuse method, the relative gain Δ%, and the
+size of the remaining target fault set Φ_tar.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SuiteRunConfig, run_suite
+
+COLUMNS = ["circuit", "gates", "ffs", "patterns", "monitors",
+           "conv", "prop", "gain_percent", "targets"]
+
+
+def table1_rows(config: SuiteRunConfig | None = None) -> list[dict[str, object]]:
+    """One dict per circuit with the Table I columns."""
+    if config is None:
+        config = SuiteRunConfig(with_schedules=False)
+    results = run_suite(config)
+    return [results[name].table1_row() for name in config.names]

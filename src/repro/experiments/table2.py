@@ -1,0 +1,25 @@
+"""Table II — selected test frequencies and test time in comparison.
+
+Per circuit: |F| for conventional FAST, the greedy heuristic and the
+proposed ILP with monitors; the relative frequency reduction; and the
+pattern-configuration count before (naïve |P×C×F|) and after scheduling
+with its reduction Δ%|PC|.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SuiteRunConfig, run_suite
+
+COLUMNS = ["circuit", "freq_conv", "freq_heur", "freq_prop",
+           "freq_reduction_percent", "pc_orig", "pc_opti",
+           "pc_reduction_percent"]
+
+
+def table2_rows(config: SuiteRunConfig | None = None) -> list[dict[str, object]]:
+    """One dict per circuit with the Table II columns."""
+    if config is None:
+        config = SuiteRunConfig(with_schedules=True)
+    if not config.with_schedules:
+        raise ValueError("Table II needs with_schedules=True")
+    results = run_suite(config)
+    return [results[name].table2_row() for name in config.names]

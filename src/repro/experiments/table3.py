@@ -1,0 +1,23 @@
+"""Table III — test time reduction at relaxed coverage targets.
+
+Per circuit and coverage target cov ∈ {99, 98, 95, 90} %: the number of
+required frequencies |F_cov|, the naïve pattern-configuration count
+|PC_cov|, the optimized schedule size |S_cov| and the reduction Δ%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SuiteRunConfig, run_suite
+
+COVERAGES = (0.99, 0.98, 0.95, 0.90)
+
+
+def table3_rows(config: SuiteRunConfig | None = None) -> list[dict[str, object]]:
+    """One dict per circuit with per-coverage column groups."""
+    if config is None:
+        config = SuiteRunConfig(with_schedules=True,
+                                with_coverage_schedules=True)
+    if not config.with_coverage_schedules:
+        raise ValueError("Table III needs with_coverage_schedules=True")
+    results = run_suite(config)
+    return [results[name].table3_row() for name in config.names]

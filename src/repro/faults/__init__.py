@@ -1,0 +1,27 @@
+"""Fault models, fault-list generation, detection-range extraction and
+classification for small (hidden) delay fault testing."""
+
+from repro.faults.models import FaultSite, SmallDelayFault, StuckAtFault, TransitionFault
+from repro.faults.universe import small_delay_fault_universe
+from repro.faults.detection import DetectionData, FaultPatternRange, compute_detection_data
+from repro.faults.classify import (
+    FaultClassification,
+    StructuralFilterResult,
+    classify_faults,
+    structural_prefilter,
+)
+
+__all__ = [
+    "FaultSite",
+    "SmallDelayFault",
+    "StuckAtFault",
+    "TransitionFault",
+    "small_delay_fault_universe",
+    "DetectionData",
+    "FaultPatternRange",
+    "compute_detection_data",
+    "FaultClassification",
+    "StructuralFilterResult",
+    "classify_faults",
+    "structural_prefilter",
+]

@@ -1,0 +1,243 @@
+"""Detection-range extraction via timing-accurate fault simulation.
+
+For every (fault, pattern) pair the faulty and fault-free waveforms at each
+observation point are XOR-ed; intervals narrower than the pulse-filter
+threshold are discarded pessimistically (Fig. 1).  Two interval sets are kept
+per pair (Sec. III-B):
+
+* ``i_all`` — union over *all* observation points: detection range of the
+  standard capture flip-flops,
+* ``i_mon`` — union over *monitored* observation points, before the monitor
+  delay shift; a configuration ``d`` detects at period ``t`` iff
+  ``t ∈ i_all ∪ (i_mon + d)``.
+
+Ranges are stored unclipped in ``[0, horizon]`` (``horizon = t_nom``): the
+portion below ``t_min`` is unobservable by flip-flops but becomes relevant
+once shifted by a monitor delay, which is precisely the paper's mechanism for
+recovering otherwise hidden faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.atpg.patterns import TestSet
+from repro.faults.models import SmallDelayFault
+from repro.netlist.circuit import Circuit
+from repro.simulation.wave_sim import DEFAULT_INERTIAL_PS, WaveformSimulator
+from repro.utils.intervals import IntervalSet
+
+
+@dataclass(frozen=True)
+class FaultPatternRange:
+    """Raw detection ranges of one fault under one pattern."""
+
+    i_all: IntervalSet
+    i_mon: IntervalSet
+
+    @property
+    def is_empty(self) -> bool:
+        return self.i_all.is_empty and self.i_mon.is_empty
+
+
+@dataclass
+class DetectionData:
+    """Sparse (fault, pattern) → detection-range table plus aggregates."""
+
+    circuit: Circuit
+    faults: list[SmallDelayFault]
+    patterns: TestSet
+    horizon: float
+    monitored_gates: frozenset[int]
+    #: fault index -> {pattern index -> ranges}; only non-empty entries exist.
+    ranges: dict[int, dict[int, FaultPatternRange]] = field(default_factory=dict)
+    _union_all: dict[int, IntervalSet] = field(default_factory=dict, repr=False)
+    _union_mon: dict[int, IntervalSet] = field(default_factory=dict, repr=False)
+
+    def add(self, fault_idx: int, pattern_idx: int,
+            fpr: FaultPatternRange) -> None:
+        self.ranges.setdefault(fault_idx, {})[pattern_idx] = fpr
+        self._union_all.pop(fault_idx, None)
+        self._union_mon.pop(fault_idx, None)
+
+    def pairs_for_fault(self, fault_idx: int) -> list[tuple[int, FaultPatternRange]]:
+        """All patterns with a non-empty range for the fault."""
+        return sorted(self.ranges.get(fault_idx, {}).items())
+
+    def union_all(self, fault_idx: int) -> IntervalSet:
+        """Union of ``i_all`` over all patterns (FF detection range of φ)."""
+        if fault_idx not in self._union_all:
+            acc = IntervalSet.empty()
+            for fpr in self.ranges.get(fault_idx, {}).values():
+                acc = acc.union(fpr.i_all)
+            self._union_all[fault_idx] = acc
+        return self._union_all[fault_idx]
+
+    def union_mon(self, fault_idx: int) -> IntervalSet:
+        """Union of pre-shift ``i_mon`` over all patterns."""
+        if fault_idx not in self._union_mon:
+            acc = IntervalSet.empty()
+            for fpr in self.ranges.get(fault_idx, {}).values():
+                acc = acc.union(fpr.i_mon)
+            self._union_mon[fault_idx] = acc
+        return self._union_mon[fault_idx]
+
+    def detection_range(self, fault_idx: int, configs: Sequence[float],
+                        t_min: float, t_nom: float) -> IntervalSet:
+        """Observable detection range ``I(φ)`` with monitors (Sec. III-B):
+        ``I_FF ∪ ⋃_{d∈C}(I_mon + d)`` clipped to ``[t_min, t_nom]``."""
+        acc = self.union_all(fault_idx)
+        mon = self.union_mon(fault_idx)
+        for d in configs:
+            acc = acc.union(mon.shifted(d))
+        return acc.clipped(t_min, t_nom)
+
+    def faults_with_ranges(self) -> set[int]:
+        return set(self.ranges)
+
+
+def _prepare_reach(circuit: Circuit, faults: Sequence[SmallDelayFault]
+                   ) -> tuple[list[list[int]], list[int]]:
+    """Per fault: reachable observation gates and the site's signal gate."""
+    obs_gates = {op.gate for op in circuit.observation_points()}
+    reach: list[list[int]] = []
+    site_signal: list[int] = []
+    cone_cache: dict[int, set[int]] = {}
+    for f in faults:
+        g = f.site.gate
+        if g not in cone_cache:
+            cone_cache[g] = circuit.fanout_cone(g) | {g}
+        reach.append(sorted(cone_cache[g] & obs_gates))
+        site_signal.append(f.site.signal_gate(circuit))
+    return reach, site_signal
+
+
+def _simulate_one_pattern(
+    sim: WaveformSimulator,
+    faults: Sequence[SmallDelayFault],
+    reach: list[list[int]],
+    site_signal: list[int],
+    pattern,
+    *,
+    horizon: float,
+    monitored: frozenset[int],
+    glitch_threshold: float,
+) -> list[tuple[int, FaultPatternRange]]:
+    """Ranges of every activated fault under one pattern."""
+    base = sim.simulate(pattern.launch, pattern.capture)
+    out: list[tuple[int, FaultPatternRange]] = []
+    for fi, fault in enumerate(faults):
+        if not reach[fi]:
+            continue
+        # Activation pre-filter: the fault only matters when the signal
+        # at its site has a transition of the faulted polarity.
+        sig_wave = base.waveforms[site_signal[fi]]
+        if not sig_wave.has_transition(rising=fault.slow_to_rise):
+            continue
+        faulty = sim.simulate_fault(base, fault)
+        i_all = IntervalSet.empty()
+        i_mon = IntervalSet.empty()
+        for og in reach[fi]:
+            diff = base.waveforms[og].diff_intervals(
+                faulty.waveforms[og], horizon)
+            if diff.is_empty:
+                continue
+            diff = diff.filter_glitches(glitch_threshold)
+            if diff.is_empty:
+                continue
+            i_all = i_all.union(diff)
+            if og in monitored:
+                i_mon = i_mon.union(diff)
+        if not (i_all.is_empty and i_mon.is_empty):
+            out.append((fi, FaultPatternRange(i_all, i_mon)))
+    return out
+
+
+# Per-process state for the multiprocessing path (set by the initializer;
+# fork-safe because every worker rebuilds its own simulator).
+_WORKER: dict[str, object] = {}
+
+
+def _worker_init(circuit, faults, inertial, horizon, monitored,
+                 glitch_threshold):  # pragma: no cover - subprocess body
+    _WORKER["sim"] = WaveformSimulator(circuit, inertial=inertial)
+    _WORKER["faults"] = faults
+    reach, site_signal = _prepare_reach(circuit, faults)
+    _WORKER["reach"] = reach
+    _WORKER["site_signal"] = site_signal
+    _WORKER["kwargs"] = dict(horizon=horizon, monitored=monitored,
+                             glitch_threshold=glitch_threshold)
+
+
+def _worker_run(job):  # pragma: no cover - subprocess body
+    pi, pattern = job
+    return pi, _simulate_one_pattern(
+        _WORKER["sim"], _WORKER["faults"], _WORKER["reach"],
+        _WORKER["site_signal"], pattern, **_WORKER["kwargs"])
+
+
+def compute_detection_data(
+    circuit: Circuit,
+    faults: Sequence[SmallDelayFault],
+    patterns: TestSet,
+    *,
+    horizon: float,
+    monitored_gates: Iterable[int] = (),
+    inertial: float = DEFAULT_INERTIAL_PS,
+    glitch_threshold: float | None = None,
+    progress: Callable[[int, int], None] | None = None,
+    jobs: int = 1,
+) -> DetectionData:
+    """Simulate every pattern against every (activated) fault.
+
+    ``monitored_gates`` are the driving-gate indices of observation points
+    that carry a delay monitor.  ``glitch_threshold`` defaults to the
+    inertial threshold.  ``progress(done, total)`` is called once per pattern
+    when provided.  ``jobs > 1`` distributes patterns over worker processes
+    (results are identical to the sequential path — patterns are
+    independent).
+    """
+    if glitch_threshold is None:
+        glitch_threshold = inertial
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    monitored = frozenset(monitored_gates)
+    data = DetectionData(
+        circuit=circuit,
+        faults=list(faults),
+        patterns=patterns,
+        horizon=horizon,
+        monitored_gates=monitored,
+    )
+    total = len(patterns)
+
+    if jobs == 1 or total <= 1:
+        sim = WaveformSimulator(circuit, inertial=inertial)
+        reach, site_signal = _prepare_reach(circuit, data.faults)
+        for pi, pattern in enumerate(patterns):
+            for fi, fpr in _simulate_one_pattern(
+                    sim, data.faults, reach, site_signal, pattern,
+                    horizon=horizon, monitored=monitored,
+                    glitch_threshold=glitch_threshold):
+                data.add(fi, pi, fpr)
+            if progress is not None:
+                progress(pi + 1, total)
+        return data
+
+    import multiprocessing as mp
+
+    ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
+    init_args = (circuit, data.faults, inertial, horizon, monitored,
+                 glitch_threshold)
+    with ctx.Pool(processes=jobs, initializer=_worker_init,
+                  initargs=init_args) as pool:
+        done = 0
+        for pi, results in pool.imap_unordered(
+                _worker_run, list(enumerate(patterns))):
+            for fi, fpr in results:
+                data.add(fi, pi, fpr)
+            done += 1
+            if progress is not None:
+                progress(done, total)
+    return data

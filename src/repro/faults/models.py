@@ -1,0 +1,100 @@
+"""Fault models used by the flow.
+
+* :class:`SmallDelayFault` — the paper's fault model ``φ = (g, δ)``: a lumped
+  extra delay ``δ`` on one transition polarity at a gate pin (Sec. II-A).
+  Two faults (slow-to-rise / slow-to-fall) are modeled per site.
+* :class:`TransitionFault` — gross-delay abstraction used by the ATPG to
+  generate pattern pairs.
+* :class:`StuckAtFault` — combinational abstraction that PODEM solves for the
+  second (capture) vector of a transition test.
+
+A *fault site* is a pin of a combinational gate: ``pin is None`` denotes the
+output pin, otherwise the input pin index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.circuit import Circuit
+
+
+#: Sentinel pin index denoting a gate's output pin.
+OUTPUT_PIN = -1
+
+
+@dataclass(frozen=True, order=True)
+class FaultSite:
+    """A gate pin: the output pin when ``pin == OUTPUT_PIN`` (-1), else the
+    input pin index."""
+
+    gate: int
+    pin: int = OUTPUT_PIN
+
+    @property
+    def is_output_pin(self) -> bool:
+        return self.pin < 0
+
+    def signal_gate(self, circuit: Circuit) -> int:
+        """Index of the gate whose output signal is observed at this pin.
+
+        For an input pin this is the fanin driver (the fault models the
+        fanout-branch segment); for the output pin it is the gate itself.
+        """
+        if self.is_output_pin:
+            return self.gate
+        return circuit.gates[self.gate].fanin[self.pin]
+
+    def describe(self, circuit: Circuit) -> str:
+        g = circuit.gates[self.gate]
+        where = "out" if self.is_output_pin else f"in{self.pin}"
+        return f"{g.name}.{where}"
+
+
+@dataclass(frozen=True, order=True)
+class SmallDelayFault:
+    """Small delay fault ``(site, polarity, δ)`` in picoseconds."""
+
+    site: FaultSite
+    slow_to_rise: bool
+    delta: float
+
+    @property
+    def polarity(self) -> str:
+        return "STR" if self.slow_to_rise else "STF"
+
+    def describe(self, circuit: Circuit) -> str:
+        return f"{self.site.describe(circuit)}/{self.polarity}/{self.delta:g}ps"
+
+
+@dataclass(frozen=True, order=True)
+class TransitionFault:
+    """Transition (gross delay) fault at a site, for ATPG pattern pairs."""
+
+    site: FaultSite
+    slow_to_rise: bool
+
+    @property
+    def polarity(self) -> str:
+        return "STR" if self.slow_to_rise else "STF"
+
+    def as_stuck_at(self) -> "StuckAtFault":
+        """The stuck-at fault whose test is the capture vector of this
+        transition test: slow-to-rise behaves like stuck-at-0 in v2."""
+        return StuckAtFault(self.site, value=0 if self.slow_to_rise else 1)
+
+    @property
+    def launch_value(self) -> int:
+        """Value the site must hold in the launch vector v1."""
+        return 0 if self.slow_to_rise else 1
+
+
+@dataclass(frozen=True, order=True)
+class StuckAtFault:
+    """Single stuck-at fault at a gate pin."""
+
+    site: FaultSite
+    value: int
+
+    def describe(self, circuit: Circuit) -> str:
+        return f"{self.site.describe(circuit)}/SA{self.value}"

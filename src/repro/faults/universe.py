@@ -1,0 +1,52 @@
+"""Small-delay-fault universe generation.
+
+Following Sec. V of the paper, the initial fault set contains small delay
+faults at *all input and output pins* of every combinational gate, with two
+faults per location (slow-to-rise and slow-to-fall) and a per-gate fault size
+``δ = 6σ`` where ``σ = 0.2 ×`` nominal gate delay.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.faults.models import FaultSite, SmallDelayFault
+from repro.netlist.circuit import Circuit, GateKind
+from repro.timing.variation import N_SIGMA, SIGMA_FRACTION, fault_size_for_gate
+
+
+def fault_sites(circuit: Circuit) -> list[FaultSite]:
+    """All gate pins: one output-pin site plus one site per input pin."""
+    sites: list[FaultSite] = []
+    for g in circuit.gates:
+        if not GateKind.is_combinational(g.kind):
+            continue
+        sites.append(FaultSite(g.index))
+        sites.extend(FaultSite(g.index, pin) for pin in range(g.arity))
+    return sites
+
+
+def small_delay_fault_universe(
+    circuit: Circuit,
+    *,
+    sigma_fraction: float = SIGMA_FRACTION,
+    n_sigma: float = N_SIGMA,
+    delta: float | None = None,
+    sites: Iterable[FaultSite] | None = None,
+) -> list[SmallDelayFault]:
+    """Build the initial fault list (Sec. V).
+
+    ``delta`` overrides the per-gate 6σ sizing with a fixed fault size;
+    ``sites`` restricts generation to the given locations (used by tests and
+    ablations).
+    """
+    out: list[SmallDelayFault] = []
+    site_list = list(sites) if sites is not None else fault_sites(circuit)
+    for site in site_list:
+        size = delta if delta is not None else fault_size_for_gate(
+            circuit, site.gate, sigma_fraction=sigma_fraction, n_sigma=n_sigma)
+        if size <= 0.0:
+            continue
+        out.append(SmallDelayFault(site, slow_to_rise=True, delta=size))
+        out.append(SmallDelayFault(site, slow_to_rise=False, delta=size))
+    return out

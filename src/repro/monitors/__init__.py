@@ -1,0 +1,18 @@
+"""Programmable delay monitor models (Sec. II-B / III of the paper).
+
+A monitor is a shadow register observing a pseudo-primary output through a
+selectable delay element, compared against the standard flip-flop by an XOR
+gate.  The package covers the hardware model (:mod:`monitor`), placement at
+long path ends (:mod:`insertion`), detection-range shifting math
+(:mod:`shifting`) and guard-band aging alerts (:mod:`alerts`).
+"""
+
+from repro.monitors.monitor import MonitorConfigSet, ProgrammableDelayMonitor
+from repro.monitors.insertion import MonitorPlacement, insert_monitors
+
+__all__ = [
+    "MonitorConfigSet",
+    "ProgrammableDelayMonitor",
+    "MonitorPlacement",
+    "insert_monitors",
+]

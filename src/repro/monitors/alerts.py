@@ -1,0 +1,75 @@
+"""Circuit-level aging-alert evaluation.
+
+Convenience API over the monitor bank: simulate a workload sample and
+collect, per monitor and configuration, whether the guard band was violated
+at the capture edge.  Used by the lifetime examples and tests; the
+:mod:`repro.aging.lifetime` simulator embeds the same semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.monitors.insertion import MonitorPlacement
+from repro.netlist.circuit import Circuit
+from repro.simulation.wave_sim import WaveformSimulator
+
+
+@dataclass
+class AlertSummary:
+    """Alert outcome of one workload evaluation."""
+
+    period: float
+    #: (monitor name, config index) pairs that alerted at least once.
+    alerts: set[tuple[str, int]] = field(default_factory=set)
+    #: per-config count of alerting monitors.
+    per_config: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def any_alert(self) -> bool:
+        return bool(self.alerts)
+
+    def alerted_configs(self) -> list[int]:
+        return sorted(ci for ci, n in self.per_config.items() if n > 0)
+
+
+def evaluate_alerts(
+    circuit: Circuit,
+    placement: MonitorPlacement,
+    patterns: Sequence[tuple[Sequence[int], Sequence[int]]],
+    period: float,
+    *,
+    configs: Sequence[int] | None = None,
+    strict_window: bool = False,
+) -> AlertSummary:
+    """Run the workload and evaluate every monitor under the given configs.
+
+    ``strict_window`` uses the conservative stability check (any toggle in
+    the guard band) instead of the hardware XOR comparison.
+    """
+    sim = WaveformSimulator(circuit)
+    config_indices = (list(configs) if configs is not None
+                      else list(range(len(placement.configs))))
+    summary = AlertSummary(period=period,
+                           per_config={ci: 0 for ci in config_indices})
+    flagged: set[tuple[str, int]] = set()
+    for launch, capture in patterns:
+        res = sim.simulate(list(launch), list(capture))
+        for mon in placement.bank:
+            wave = res.waveforms[mon.gate]
+            for ci in config_indices:
+                key = (mon.name, ci)
+                if key in flagged:
+                    continue
+                saved = mon.selected
+                mon.select(ci)
+                hit = (mon.window_violation(wave, period) if strict_window
+                       else mon.alert(wave, period))
+                mon.select(saved)
+                if hit:
+                    flagged.add(key)
+    summary.alerts = flagged
+    for name, ci in flagged:
+        summary.per_config[ci] = summary.per_config.get(ci, 0) + 1
+    return summary

@@ -1,0 +1,158 @@
+"""Programmable delay monitor hardware model.
+
+Structure (Fig. 2a): the monitored data signal ``D`` feeds both the standard
+capture flip-flop and, through one of several selectable delay elements, a
+shadow flip-flop.  An XOR of the two captured values raises an *alert*.
+
+Two use modes:
+
+* **Aging prediction** (Fig. 2b/c): at nominal speed, a late transition of
+  ``D`` inside the detection window ``(t_clk - d, t_clk)`` makes the shadow
+  register capture a stale value → alert.  Early in life a *large* delay
+  (wide guard band) senses initial degradation; after the first alert a
+  smaller delay tracks the remaining margin.
+* **HDF detection in FAST** (Fig. 2d): the shadow register observes the
+  delayed signal ``D(t - d)``, so a fault's detection range is shifted right
+  by ``d`` — faults needing ``t < t_min`` become observable at reachable
+  frequencies (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.simulation.waveform import Waveform
+
+#: The paper's delay-element values as fractions of the nominal clock
+#: (Sec. V): d = 0.05, 0.1, 0.15 and 1/3 of clk.
+PAPER_DELAY_FRACTIONS = (0.05, 0.10, 0.15, 1.0 / 3.0)
+
+
+@dataclass(frozen=True)
+class MonitorConfigSet:
+    """The set ``C`` of selectable monitor delays, in ps, ascending.
+
+    All monitors share one selected configuration at any time (Sec. V).
+    """
+
+    delays: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.delays:
+            raise ValueError("a monitor needs at least one delay element")
+        if any(d <= 0 for d in self.delays):
+            raise ValueError("monitor delays must be positive")
+        if list(self.delays) != sorted(self.delays):
+            raise ValueError("monitor delays must be ascending")
+
+    @classmethod
+    def paper_default(cls, clock_period: float) -> "MonitorConfigSet":
+        """The four-element configuration of Sec. V for a given clock."""
+        return cls(tuple(f * clock_period for f in PAPER_DELAY_FRACTIONS))
+
+    def __len__(self) -> int:
+        return len(self.delays)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.delays)
+
+    def __getitem__(self, idx: int) -> float:
+        return self.delays[idx]
+
+    @property
+    def largest(self) -> float:
+        return self.delays[-1]
+
+    @property
+    def smallest(self) -> float:
+        return self.delays[0]
+
+    def index_of(self, delay: float, *, tol: float = 1e-9) -> int:
+        for i, d in enumerate(self.delays):
+            if abs(d - delay) <= tol:
+                return i
+        raise ValueError(f"delay {delay} is not a configured element")
+
+
+@dataclass
+class ProgrammableDelayMonitor:
+    """One monitor instance attached to an observation point.
+
+    ``gate`` is the driving gate whose output waveform the monitor sees;
+    ``selected`` indexes the active delay element.
+    """
+
+    name: str
+    gate: int
+    configs: MonitorConfigSet
+    selected: int = 0
+
+    def __post_init__(self) -> None:
+        self._check_selection(self.selected)
+
+    def _check_selection(self, idx: int) -> None:
+        if not 0 <= idx < len(self.configs):
+            raise ValueError(
+                f"config index {idx} out of range 0..{len(self.configs) - 1}")
+
+    @property
+    def delay(self) -> float:
+        """Currently selected delay element value."""
+        return self.configs[self.selected]
+
+    def select(self, idx: int) -> None:
+        self._check_selection(idx)
+        self.selected = idx
+
+    # ------------------------------------------------------------------
+    # Capture semantics
+    # ------------------------------------------------------------------
+    def shadow_value(self, wave: Waveform, t_capture: float) -> int:
+        """Value captured by the shadow register at the clock edge."""
+        return wave.value_at(t_capture - self.delay)
+
+    def main_value(self, wave: Waveform, t_capture: float) -> int:
+        """Value captured by the standard flip-flop."""
+        return wave.value_at(t_capture)
+
+    def alert(self, wave: Waveform, t_capture: float) -> bool:
+        """XOR-comparator output: True when main and shadow FF disagree."""
+        return self.main_value(wave, t_capture) != self.shadow_value(
+            wave, t_capture)
+
+    def window_violation(self, wave: Waveform, t_capture: float) -> bool:
+        """Strict guard-band check: any toggle inside the detection window.
+
+        Stricter than :meth:`alert` (an even number of toggles inside the
+        window escapes the XOR but still violates stability); used for
+        conservative aging alerts.
+        """
+        return not wave.is_stable_in(t_capture - self.delay, t_capture)
+
+
+@dataclass
+class MonitorBank:
+    """All monitors of a circuit sharing one configuration selection."""
+
+    monitors: list[ProgrammableDelayMonitor] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.monitors)
+
+    def __iter__(self) -> Iterator[ProgrammableDelayMonitor]:
+        return iter(self.monitors)
+
+    def select_all(self, idx: int) -> None:
+        for m in self.monitors:
+            m.select(idx)
+
+    def gates(self) -> frozenset[int]:
+        return frozenset(m.gate for m in self.monitors)
+
+    def alerts(self, waves: Sequence[Waveform], t_capture: float) -> list[bool]:
+        """Per-monitor XOR alert flags for one simulation result."""
+        return [m.alert(waves[m.gate], t_capture) for m in self.monitors]
+
+    def any_alert(self, waves: Sequence[Waveform], t_capture: float) -> bool:
+        return any(self.alerts(waves, t_capture))

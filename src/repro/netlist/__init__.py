@@ -1,0 +1,20 @@
+"""Gate-level netlist substrate.
+
+Provides the circuit data structures the whole flow operates on, a
+NanGate-45nm-like standard-cell library with per-pin rise/fall delays, ISCAS'89
+``.bench`` and structural-Verilog readers/writers, an SDF (Standard Delay
+Format) subset for timing annotation, and netlist validation.
+"""
+
+from repro.netlist.cells import CellLibrary, CellSpec, nangate45_like
+from repro.netlist.circuit import Circuit, Gate, GateKind, ObservationPoint
+
+__all__ = [
+    "CellLibrary",
+    "CellSpec",
+    "nangate45_like",
+    "Circuit",
+    "Gate",
+    "GateKind",
+    "ObservationPoint",
+]

@@ -1,0 +1,159 @@
+"""ISCAS'89 ``.bench`` netlist reader and writer.
+
+The benchmark circuits used in the paper's evaluation (s9234, s13207, …) are
+distributed in this format::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G1)
+    G7  = DFF(G10)
+
+Definitions may appear in any order and flip-flops introduce sequential
+feedback, so parsing is two-pass: declarations are collected first, then
+combinational gates are instantiated in topological order and DFF data pins
+are patched in last.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from repro.netlist.cells import CellLibrary
+from repro.netlist.circuit import Circuit, GateKind
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<out>[\w.\[\]$]+)\s*=\s*(?P<fn>\w+)\s*\((?P<args>[^)]*)\)\s*$")
+_DECL_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<name>[\w.\[\]$]+)\)\s*$",
+                      re.IGNORECASE)
+
+_FN_MAP = {
+    "AND": GateKind.AND,
+    "NAND": GateKind.NAND,
+    "OR": GateKind.OR,
+    "NOR": GateKind.NOR,
+    "XOR": GateKind.XOR,
+    "XNOR": GateKind.XNOR,
+    "NOT": GateKind.NOT,
+    "INV": GateKind.NOT,
+    "BUF": GateKind.BUF,
+    "BUFF": GateKind.BUF,
+    "DFF": GateKind.DFF,
+}
+
+
+class BenchParseError(ValueError):
+    """Raised on malformed ``.bench`` input."""
+
+
+def parse_bench(text: str, *, name: str = "bench",
+                library: CellLibrary | None = None) -> Circuit:
+    """Parse ``.bench`` source text into a finalized :class:`Circuit`."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    defs: dict[str, tuple[str, list[str]]] = {}
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        decl = _DECL_RE.match(line)
+        if decl:
+            if decl.group("kind").upper() == "INPUT":
+                inputs.append(decl.group("name"))
+            else:
+                outputs.append(decl.group("name"))
+            continue
+        m = _LINE_RE.match(line)
+        if not m:
+            raise BenchParseError(f"line {lineno}: cannot parse {raw!r}")
+        out = m.group("out")
+        fn = m.group("fn").upper()
+        if fn not in _FN_MAP:
+            raise BenchParseError(f"line {lineno}: unknown function {fn!r}")
+        args = [a.strip() for a in m.group("args").split(",") if a.strip()]
+        if out in defs:
+            raise BenchParseError(f"line {lineno}: signal {out!r} redefined")
+        defs[out] = (_FN_MAP[fn], args)
+
+    circuit = Circuit(name)
+    for pi in inputs:
+        if pi in defs:
+            raise BenchParseError(f"INPUT {pi!r} also has a gate definition")
+        circuit.add_input(pi)
+
+    # DFF outputs are combinational sources; create them (unconnected) first.
+    dff_names = [n for n, (kind, _a) in defs.items() if kind == GateKind.DFF]
+    for n in dff_names:
+        circuit.add_dff(n, None)
+
+    # Instantiate combinational gates in dependency order (DFS).
+    comb = {n: (kind, args) for n, (kind, args) in defs.items()
+            if kind != GateKind.DFF}
+    state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def instantiate(sig: str, chain: tuple[str, ...]) -> None:
+        if circuit.has_gate(sig):
+            return
+        if sig not in comb:
+            raise BenchParseError(f"undefined signal {sig!r}")
+        if state.get(sig) == 0:
+            raise BenchParseError(
+                f"combinational cycle through {sig!r} (path {' -> '.join(chain)})")
+        state[sig] = 0
+        kind, args = comb[sig]
+        for a in args:
+            instantiate(a, chain + (sig,))
+        circuit.add_gate(sig, kind, [circuit.index_of(a) for a in args])
+        state[sig] = 1
+
+    for sig in comb:
+        instantiate(sig, ())
+
+    for n in dff_names:
+        (_kind, args) = defs[n]
+        if len(args) != 1:
+            raise BenchParseError(f"DFF {n!r} must have exactly one input")
+        if not circuit.has_gate(args[0]):
+            raise BenchParseError(f"DFF {n!r}: undefined data signal {args[0]!r}")
+        circuit.connect_dff(n, circuit.index_of(args[0]))
+
+    for po in outputs:
+        if not circuit.has_gate(po):
+            raise BenchParseError(f"OUTPUT {po!r} is undefined")
+        circuit.mark_output(circuit.index_of(po))
+
+    return circuit.finalize(library=library)
+
+
+def load_bench(path: str | Path, *,
+               library: CellLibrary | None = None) -> Circuit:
+    """Read a ``.bench`` file from disk."""
+    p = Path(path)
+    return parse_bench(p.read_text(), name=p.stem, library=library)
+
+
+def write_bench(circuit: Circuit) -> str:
+    """Serialize a circuit back to ``.bench`` text (stable gate order)."""
+    lines: list[str] = [f"# {circuit.name}"]
+    for idx in circuit.inputs:
+        lines.append(f"INPUT({circuit.gates[idx].name})")
+    for idx in circuit.outputs:
+        lines.append(f"OUTPUT({circuit.gates[idx].name})")
+    inv_fn = {v: k for k, v in _FN_MAP.items() if k not in ("INV", "BUFF")}
+    for g in circuit.gates:
+        if g.kind == GateKind.INPUT:
+            continue
+        if g.kind in (GateKind.CONST0, GateKind.CONST1):
+            if circuit.fanouts(g.index) or g.index in circuit.outputs:
+                raise ValueError(
+                    f"the .bench format cannot express constant driver "
+                    f"{g.name!r}; export as Verilog instead")
+            continue  # dangling constant: drop silently
+        args = ", ".join(circuit.gates[s].name for s in g.fanin)
+        lines.append(f"{g.name} = {inv_fn[g.kind]}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def save_bench(circuit: Circuit, path: str | Path) -> None:
+    Path(path).write_text(write_bench(circuit))

@@ -1,0 +1,443 @@
+"""Gate-level circuit data structures.
+
+The whole flow operates on a :class:`Circuit`: a directed acyclic graph of
+gates in ISCAS'89 style (every gate drives exactly one net named after the
+gate).  Flip-flops (``DFF``) split the design into a combinational core:
+
+* sources   = primary inputs + DFF outputs (pseudo-primary inputs, PPI),
+* sinks     = primary outputs + DFF data inputs (pseudo-primary outputs, PPO).
+
+FAST captures test responses at the sinks; delay monitors are shadow
+registers attached to a subset of the PPOs (Sec. III of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.netlist.cells import CellLibrary, DEFAULT_LIBRARY
+
+
+class GateKind:
+    """String constants for gate kinds plus membership helpers."""
+
+    INPUT = "INPUT"
+    DFF = "DFF"
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+    NOT = "NOT"
+    BUF = "BUF"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+
+    #: Kinds that act as combinational sources (no evaluated fanin).
+    SOURCES = frozenset({INPUT, DFF, CONST0, CONST1})
+    #: Kinds evaluated by the simulators.
+    COMBINATIONAL = frozenset({NOT, BUF, AND, NAND, OR, NOR, XOR, XNOR})
+    ALL = SOURCES | COMBINATIONAL
+
+    _ARITY_ONE = frozenset({NOT, BUF})
+
+    @classmethod
+    def is_source(cls, kind: str) -> bool:
+        return kind in cls.SOURCES
+
+    @classmethod
+    def is_combinational(cls, kind: str) -> bool:
+        return kind in cls.COMBINATIONAL
+
+    @classmethod
+    def check_arity(cls, kind: str, n_inputs: int) -> None:
+        if kind in (cls.INPUT, cls.CONST0, cls.CONST1):
+            if n_inputs != 0:
+                raise ValueError(f"{kind} gate takes no inputs, got {n_inputs}")
+        elif kind == cls.DFF:
+            if n_inputs != 1:
+                raise ValueError(f"DFF takes exactly one input, got {n_inputs}")
+        elif kind in cls._ARITY_ONE:
+            if n_inputs != 1:
+                raise ValueError(f"{kind} takes exactly one input, got {n_inputs}")
+        elif kind in (cls.XOR, cls.XNOR):
+            if n_inputs < 2:
+                raise ValueError(f"{kind} needs >=2 inputs, got {n_inputs}")
+        elif kind in cls.COMBINATIONAL:
+            if n_inputs < 1:
+                raise ValueError(f"{kind} needs >=1 input, got {n_inputs}")
+        else:
+            raise ValueError(f"unknown gate kind {kind!r}")
+
+
+@dataclass
+class Gate:
+    """One gate / net in the circuit.
+
+    ``pin_delays[i]`` is the ``(rise, fall)`` pin-to-output delay in ps for
+    input pin ``i``; sources have no pins.  Delays are assigned from the cell
+    library (:meth:`Circuit.assign_delays`) or an SDF file.
+    """
+
+    index: int
+    name: str
+    kind: str
+    fanin: tuple[int, ...] = ()
+    pin_delays: tuple[tuple[float, float], ...] = ()
+    cell: str = ""
+
+    @property
+    def arity(self) -> int:
+        return len(self.fanin)
+
+    def max_delay(self) -> float:
+        """Largest pin-to-output delay of the gate (0 for sources)."""
+        if not self.pin_delays:
+            return 0.0
+        return max(max(r, f) for r, f in self.pin_delays)
+
+    def min_delay(self) -> float:
+        if not self.pin_delays:
+            return 0.0
+        return min(min(r, f) for r, f in self.pin_delays)
+
+
+@dataclass(frozen=True, order=True)
+class ObservationPoint:
+    """A response-capture location: a primary output or a DFF data input.
+
+    ``gate`` is the index of the *driving* gate whose waveform is observed;
+    ``kind`` is ``"po"`` or ``"ppo"``; for PPOs ``sink`` is the DFF index.
+    """
+
+    kind: str
+    gate: int
+    name: str
+    sink: int = -1
+
+    @property
+    def is_pseudo(self) -> bool:
+        return self.kind == "ppo"
+
+
+class Circuit:
+    """A named gate-level netlist with cached structural analyses.
+
+    Build with :meth:`add_input`, :meth:`add_gate`, :meth:`add_dff`,
+    :meth:`mark_output`, then call :meth:`finalize` (validates, computes the
+    topological order and fanout lists, and freezes the structure).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.gates: list[Gate] = []
+        self.inputs: list[int] = []
+        self.dffs: list[int] = []
+        self.outputs: list[int] = []
+        self._by_name: dict[str, int] = {}
+        self._finalized = False
+        self._topo: list[int] = []
+        self._fanouts: list[list[tuple[int, int]]] = []
+        self._levels: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _add(self, name: str, kind: str, fanin: tuple[int, ...]) -> int:
+        if self._finalized:
+            raise RuntimeError("circuit is finalized; structure is frozen")
+        if name in self._by_name:
+            raise ValueError(f"duplicate gate name {name!r} in {self.name!r}")
+        GateKind.check_arity(kind, len(fanin))
+        for src in fanin:
+            if not 0 <= src < len(self.gates):
+                raise ValueError(f"gate {name!r}: unknown fanin index {src}")
+        idx = len(self.gates)
+        self.gates.append(Gate(index=idx, name=name, kind=kind, fanin=fanin))
+        self._by_name[name] = idx
+        return idx
+
+    def add_input(self, name: str) -> int:
+        idx = self._add(name, GateKind.INPUT, ())
+        self.inputs.append(idx)
+        return idx
+
+    def add_const(self, name: str, value: int) -> int:
+        kind = GateKind.CONST1 if value else GateKind.CONST0
+        return self._add(name, kind, ())
+
+    def add_gate(self, name: str, kind: str, fanin: Sequence[int]) -> int:
+        if not GateKind.is_combinational(kind):
+            raise ValueError(f"add_gate expects a combinational kind, got {kind!r}")
+        return self._add(name, kind, tuple(fanin))
+
+    def add_dff(self, name: str, data: int | None = None) -> int:
+        """Add a flip-flop.  ``data`` may be None and wired up later through
+        :meth:`connect_dff` (sequential feedback makes forward references
+        unavoidable when parsing netlists)."""
+        if data is None:
+            if self._finalized:
+                raise RuntimeError("circuit is finalized; structure is frozen")
+            if name in self._by_name:
+                raise ValueError(f"duplicate gate name {name!r} in {self.name!r}")
+            idx = len(self.gates)
+            self.gates.append(Gate(index=idx, name=name, kind=GateKind.DFF,
+                                   fanin=()))
+            self._by_name[name] = idx
+        else:
+            idx = self._add(name, GateKind.DFF, (data,))
+        self.dffs.append(idx)
+        return idx
+
+    def connect_dff(self, name: str, data: int) -> None:
+        """Attach the data input of a DFF created without one."""
+        if self._finalized:
+            raise RuntimeError("circuit is finalized; structure is frozen")
+        gate = self.gates[self._by_name[name]]
+        if gate.kind != GateKind.DFF:
+            raise ValueError(f"{name!r} is not a DFF")
+        if gate.fanin:
+            raise ValueError(f"DFF {name!r} already connected")
+        if not 0 <= data < len(self.gates):
+            raise ValueError(f"unknown gate index {data}")
+        gate.fanin = (data,)
+
+    def mark_output(self, gate: int) -> None:
+        if self._finalized:
+            raise RuntimeError("circuit is finalized; structure is frozen")
+        if not 0 <= gate < len(self.gates):
+            raise ValueError(f"unknown gate index {gate}")
+        if gate not in self.outputs:
+            self.outputs.append(gate)
+
+    def finalize(self, *, library: CellLibrary | None = None) -> "Circuit":
+        """Validate, compute caches and freeze the structure.
+
+        If no pin delays were assigned yet, defaults from ``library`` (or the
+        NanGate-like default) are applied.
+        """
+        if self._finalized:
+            return self
+        dangling = [self.gates[d].name for d in self.dffs
+                    if not self.gates[d].fanin]
+        if dangling:
+            raise ValueError(f"DFFs without data input: {dangling[:8]}")
+        self._compute_topo()
+        self._compute_fanouts()
+        self._compute_levels()
+        self._finalized = True
+        if any(g.kind in GateKind.COMBINATIONAL and not g.pin_delays
+               for g in self.gates):
+            self.assign_delays(library or DEFAULT_LIBRARY)
+        return self
+
+    # ------------------------------------------------------------------
+    # Structural caches
+    # ------------------------------------------------------------------
+    def _compute_topo(self) -> None:
+        """Topological order over combinational gates (Kahn's algorithm).
+
+        Sources (inputs, DFF outputs, constants) come first; a cycle through
+        combinational gates is a structural error.
+        """
+        n = len(self.gates)
+        indeg = [0] * n
+        fanout: list[list[int]] = [[] for _ in range(n)]
+        for g in self.gates:
+            if g.kind == GateKind.DFF:
+                continue  # DFF breaks combinational cycles
+            for src in g.fanin:
+                fanout[src].append(g.index)
+                indeg[g.index] += 1
+        ready = [i for i, g in enumerate(self.gates)
+                 if indeg[i] == 0]
+        order: list[int] = []
+        head = 0
+        ready.sort()
+        while head < len(ready):
+            u = ready[head]
+            head += 1
+            order.append(u)
+            for v in fanout[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    ready.append(v)
+        if len(order) != n:
+            stuck = [self.gates[i].name for i in range(n) if indeg[i] > 0]
+            raise ValueError(
+                f"combinational cycle in {self.name!r} involving: {stuck[:8]}")
+        self._topo = order
+
+    def _compute_fanouts(self) -> None:
+        self._fanouts = [[] for _ in self.gates]
+        for g in self.gates:
+            for pin, src in enumerate(g.fanin):
+                self._fanouts[src].append((g.index, pin))
+
+    def _compute_levels(self) -> None:
+        self._levels = [0] * len(self.gates)
+        for idx in self._topo:
+            g = self.gates[idx]
+            if GateKind.is_source(g.kind):
+                self._levels[idx] = 0
+            else:
+                self._levels[idx] = 1 + max(
+                    (self._levels[s] for s in g.fanin), default=0)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise RuntimeError("call finalize() before structural queries")
+
+    @property
+    def is_finalized(self) -> bool:
+        return self._finalized
+
+    def gate_by_name(self, name: str) -> Gate:
+        return self.gates[self._by_name[name]]
+
+    def index_of(self, name: str) -> int:
+        return self._by_name[name]
+
+    def has_gate(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def topo_order(self) -> list[int]:
+        self._require_finalized()
+        return self._topo
+
+    def fanouts(self, gate: int) -> list[tuple[int, int]]:
+        """``(consumer gate index, consumer pin index)`` pairs for ``gate``."""
+        self._require_finalized()
+        return self._fanouts[gate]
+
+    def fanout_count(self, gate: int) -> int:
+        self._require_finalized()
+        n = len(self._fanouts[gate])
+        if gate in self.outputs:
+            n += 1
+        return n
+
+    def level(self, gate: int) -> int:
+        self._require_finalized()
+        return self._levels[gate]
+
+    @property
+    def depth(self) -> int:
+        self._require_finalized()
+        return max(self._levels, default=0)
+
+    def combinational_gates(self) -> list[int]:
+        return [g.index for g in self.gates
+                if GateKind.is_combinational(g.kind)]
+
+    @property
+    def num_gates(self) -> int:
+        """Number of combinational gates (the paper's |Gates| column)."""
+        return sum(1 for g in self.gates
+                   if GateKind.is_combinational(g.kind))
+
+    @property
+    def num_ffs(self) -> int:
+        return len(self.dffs)
+
+    def sources(self) -> list[int]:
+        """All combinational sources: PIs, PPIs (DFF outputs) and constants."""
+        return [g.index for g in self.gates if GateKind.is_source(g.kind)]
+
+    def observation_points(self) -> list[ObservationPoint]:
+        """Primary outputs followed by pseudo-primary outputs (DFF D-pins)."""
+        self._require_finalized()
+        points = [
+            ObservationPoint(kind="po", gate=idx,
+                             name=f"po:{self.gates[idx].name}")
+            for idx in self.outputs
+        ]
+        points.extend(
+            ObservationPoint(kind="ppo", gate=self.gates[dff].fanin[0],
+                             name=f"ppo:{self.gates[dff].name}", sink=dff)
+            for dff in self.dffs
+        )
+        return points
+
+    def fanout_cone(self, gate: int) -> set[int]:
+        """All gates reachable from ``gate`` through combinational edges."""
+        self._require_finalized()
+        cone: set[int] = set()
+        stack = [gate]
+        while stack:
+            u = stack.pop()
+            for v, _pin in self._fanouts[u]:
+                if v not in cone and self.gates[v].kind != GateKind.DFF:
+                    cone.add(v)
+                    stack.append(v)
+        return cone
+
+    def fanin_cone(self, gate: int) -> set[int]:
+        """All combinational gates/sources feeding ``gate`` (inclusive)."""
+        self._require_finalized()
+        cone = {gate}
+        stack = [gate]
+        while stack:
+            u = stack.pop()
+            if self.gates[u].kind == GateKind.DFF:
+                continue
+            for src in self.gates[u].fanin:
+                if src not in cone:
+                    cone.add(src)
+                    stack.append(src)
+        return cone
+
+    def iter_gates(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    # ------------------------------------------------------------------
+    # Timing annotation
+    # ------------------------------------------------------------------
+    def assign_delays(self, library: CellLibrary, *,
+                      scale: float = 1.0) -> None:
+        """Map every combinational gate onto a library cell and set delays.
+
+        ``scale`` multiplies all delays (used to model global process/aging
+        shifts).  Requires the fanout cache, hence a finalized circuit.
+        """
+        self._require_finalized()
+        for g in self.gates:
+            if not GateKind.is_combinational(g.kind):
+                continue
+            spec = library.choose(g.kind, g.arity)
+            fo = self.fanout_count(g.index)
+            g.cell = spec.name
+            g.pin_delays = tuple(
+                (r * scale, f * scale)
+                for r, f in (spec.pin_delay(p, fo) for p in range(g.arity))
+            )
+
+    def scale_gate_delays(self, factors: dict[int, float]) -> None:
+        """Multiply the delays of selected gates (aging degradation model)."""
+        for idx, factor in factors.items():
+            g = self.gates[idx]
+            g.pin_delays = tuple((r * factor, f * factor)
+                                 for r, f in g.pin_delays)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "gates": self.num_gates,
+            "ffs": self.num_ffs,
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "depth": self.depth if self._finalized else -1,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Circuit({self.name!r}, gates={self.num_gates}, "
+                f"ffs={self.num_ffs}, pis={len(self.inputs)}, "
+                f"pos={len(self.outputs)})")

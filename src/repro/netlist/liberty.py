@@ -1,0 +1,122 @@
+"""Liberty (.lib) subset — cell library exchange.
+
+Synthesis libraries like NanGate 45 nm ship as Liberty files.  This module
+implements the small structural subset needed to exchange the bundled
+:class:`~repro.netlist.cells.CellLibrary` model::
+
+    library (nangate45_like) {
+      time_unit : "1ps";
+      cell (NAND2_X1) {
+        function : "NAND";
+        pin_spread : 0.15;
+        load_rise : 1.6;
+        load_fall : 1.4;
+        pin (A) { timing () { cell_rise : 14.0; cell_fall : 11.0; } }
+        pin (B) { timing () { cell_rise : 16.1; cell_fall : 12.65; } }
+      }
+    }
+
+Only the attributes the timing model consumes are read; unknown groups and
+attributes are skipped (Liberty is huge — this is an exchange subset, not
+a front end).  Per-pin ``cell_rise``/``cell_fall`` values are mapped back
+onto the base+spread model by taking pin 0 as the base delay.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.netlist.cells import CellLibrary, CellSpec
+
+
+class LibertyParseError(ValueError):
+    """Raised on malformed Liberty input."""
+
+
+def write_liberty(library: CellLibrary) -> str:
+    """Serialize a cell library as Liberty text."""
+    lines = [f"library ({library.name}) {{",
+             '  time_unit : "1ps";']
+    for name in sorted(library.cells):
+        spec = library.cells[name]
+        lines.append(f"  cell ({spec.name}) {{")
+        lines.append(f'    function : "{spec.kind}";')
+        lines.append(f"    pin_spread : {spec.pin_spread};")
+        lines.append(f"    load_rise : {spec.load_rise};")
+        lines.append(f"    load_fall : {spec.load_fall};")
+        for pin in range(spec.max_inputs):
+            rise, fall = spec.pin_delay(pin, fanout=1)
+            lines.append(f"    pin (in{pin}) {{ timing () {{ "
+                         f"cell_rise : {rise:.4f}; "
+                         f"cell_fall : {fall:.4f}; }} }}")
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def save_liberty(library: CellLibrary, path: str | Path) -> None:
+    Path(path).write_text(write_liberty(library))
+
+
+_LIB_RE = re.compile(r"library\s*\(\s*(?P<name>[\w.]+)\s*\)")
+_CELL_RE = re.compile(r"cell\s*\(\s*(?P<name>[\w.]+)\s*\)\s*\{")
+_ATTR_RE = re.compile(r"(?P<key>\w+)\s*:\s*\"?(?P<value>[^\";]+)\"?\s*;")
+_PIN_RE = re.compile(
+    r"pin\s*\(\s*in(?P<idx>\d+)\s*\)\s*\{[^}]*?"
+    r"cell_rise\s*:\s*(?P<rise>[\d.eE+-]+)\s*;[^}]*?"
+    r"cell_fall\s*:\s*(?P<fall>[\d.eE+-]+)\s*;", re.S)
+
+
+def _split_cells(text: str) -> list[tuple[str, str]]:
+    """Return (cell name, cell body) pairs using brace counting."""
+    out: list[tuple[str, str]] = []
+    for m in _CELL_RE.finditer(text):
+        depth = 1
+        i = m.end()
+        while i < len(text) and depth:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+            i += 1
+        if depth:
+            raise LibertyParseError(
+                f"unbalanced braces in cell {m.group('name')!r}")
+        out.append((m.group("name"), text[m.end():i - 1]))
+    return out
+
+
+def parse_liberty(text: str) -> CellLibrary:
+    """Parse Liberty text into a :class:`CellLibrary`."""
+    lib_match = _LIB_RE.search(text)
+    if not lib_match:
+        raise LibertyParseError("no library group found")
+    library = CellLibrary(name=lib_match.group("name"))
+
+    for cell_name, body in _split_cells(text):
+        attrs = dict(_ATTR_RE.findall(body))
+        kind = attrs.get("function")
+        if kind is None:
+            raise LibertyParseError(f"cell {cell_name!r} has no function")
+        pins = {int(m.group("idx")): (float(m.group("rise")),
+                                      float(m.group("fall")))
+                for m in _PIN_RE.finditer(body)}
+        if not pins or 0 not in pins:
+            raise LibertyParseError(f"cell {cell_name!r} has no pin in0")
+        base_rise, base_fall = pins[0]
+        library.add(CellSpec(
+            name=cell_name,
+            kind=kind.strip(),
+            max_inputs=max(pins) + 1,
+            base_rise=base_rise,
+            base_fall=base_fall,
+            load_rise=float(attrs.get("load_rise", 1.6)),
+            load_fall=float(attrs.get("load_fall", 1.4)),
+            pin_spread=float(attrs.get("pin_spread", 0.15)),
+        ))
+    return library
+
+
+def load_liberty(path: str | Path) -> CellLibrary:
+    return parse_liberty(Path(path).read_text())

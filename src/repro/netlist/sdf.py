@@ -1,0 +1,137 @@
+"""Standard Delay Format (SDF) subset — writer and reader.
+
+The paper's flow consumes post-synthesis timing "using timing information
+from standard delay format files" (Sec. III-A).  This module implements the
+subset needed for that: per-instance ``IOPATH`` delays with rise/fall
+triples.  The writer emits one ``CELL`` per combinational gate::
+
+    (CELL (CELLTYPE "NAND2_X1") (INSTANCE g1)
+      (DELAY (ABSOLUTE
+        (IOPATH in0 out (14.0::14.0) (11.0::11.0))
+      ))
+    )
+
+and the reader applies such annotations back onto a circuit, overriding the
+library defaults.  Times are picoseconds (``TIMESCALE 1ps``); triples
+``(min:typ:max)`` collapse to the typ value (middle field), with one- and
+two-field forms accepted.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.netlist.circuit import Circuit, GateKind
+
+
+class SdfParseError(ValueError):
+    """Raised on malformed SDF input."""
+
+
+def write_sdf(circuit: Circuit, *, design: str | None = None) -> str:
+    """Serialize the circuit's pin-to-pin delays as SDF text."""
+    lines = [
+        "(DELAYFILE",
+        '  (SDFVERSION "3.0")',
+        f'  (DESIGN "{design or circuit.name}")',
+        "  (TIMESCALE 1ps)",
+    ]
+    for g in circuit.gates:
+        if not GateKind.is_combinational(g.kind) or not g.pin_delays:
+            continue
+        lines.append(f'  (CELL (CELLTYPE "{g.cell or g.kind}")'
+                     f' (INSTANCE {g.name})')
+        lines.append("    (DELAY (ABSOLUTE")
+        for pin, (rise, fall) in enumerate(g.pin_delays):
+            lines.append(
+                f"      (IOPATH in{pin} out ({rise:.3f}::{rise:.3f})"
+                f" ({fall:.3f}::{fall:.3f}))")
+        lines.append("    ))")
+        lines.append("  )")
+    lines.append(")")
+    return "\n".join(lines) + "\n"
+
+
+def save_sdf(circuit: Circuit, path: str | Path) -> None:
+    Path(path).write_text(write_sdf(circuit))
+
+
+_IOPATH_RE = re.compile(
+    r"\(IOPATH\s+(?P<ipin>\S+)\s+\S+\s+"
+    r"\((?P<rise>[^)]*)\)\s+\((?P<fall>[^)]*)\)\s*\)")
+_INSTANCE_RE = re.compile(r"\(INSTANCE\s+(?P<name>[^)\s]+)\s*\)")
+_TIMESCALE_RE = re.compile(r"\(TIMESCALE\s+(?P<factor>[\d.]+)\s*(?P<unit>[np]?s)\s*\)")
+
+_UNIT_PS = {"ps": 1.0, "ns": 1000.0, "s": 1e12}
+
+
+def _triple(text: str) -> float:
+    """Parse a (min:typ:max) value group, returning the typ field."""
+    fields = [f.strip() for f in text.split(":")]
+    for candidate in (fields[1] if len(fields) >= 2 else "", fields[0]):
+        if candidate:
+            try:
+                return float(candidate)
+            except ValueError as exc:
+                raise SdfParseError(f"bad delay value {candidate!r}") from exc
+    raise SdfParseError(f"empty delay triple {text!r}")
+
+
+def parse_sdf(text: str) -> dict[str, list[tuple[float, float]]]:
+    """Extract instance → per-pin (rise, fall) delays in ps."""
+    scale = 1.0
+    ts = _TIMESCALE_RE.search(text)
+    if ts:
+        scale = float(ts.group("factor")) * _UNIT_PS[ts.group("unit")]
+
+    out: dict[str, list[tuple[float, float]]] = {}
+    # Split on CELL boundaries; each chunk holds one instance.
+    for chunk in re.split(r"\(CELL\b", text)[1:]:
+        inst = _INSTANCE_RE.search(chunk)
+        if not inst:
+            raise SdfParseError("CELL without INSTANCE")
+        name = inst.group("name")
+        pins: list[tuple[int, float, float]] = []
+        for m in _IOPATH_RE.finditer(chunk):
+            ipin = m.group("ipin")
+            pin_match = re.fullmatch(r"in(\d+)", ipin)
+            if not pin_match:
+                raise SdfParseError(
+                    f"unsupported IOPATH input pin {ipin!r} on {name!r}")
+            pins.append((int(pin_match.group(1)),
+                         _triple(m.group("rise")) * scale,
+                         _triple(m.group("fall")) * scale))
+        if pins:
+            pins.sort()
+            out[name] = [(r, f) for _i, r, f in pins]
+    return out
+
+
+def apply_sdf(circuit: Circuit, text: str, *, strict: bool = True) -> int:
+    """Annotate a circuit with SDF delays; returns the instance count applied.
+
+    With ``strict``, instances missing from the circuit or pin-count
+    mismatches raise; otherwise they are skipped.
+    """
+    annotations = parse_sdf(text)
+    applied = 0
+    for name, delays in annotations.items():
+        if not circuit.has_gate(name):
+            if strict:
+                raise SdfParseError(f"SDF instance {name!r} not in circuit")
+            continue
+        gate = circuit.gate_by_name(name)
+        if len(delays) != gate.arity:
+            if strict:
+                raise SdfParseError(
+                    f"{name!r}: SDF has {len(delays)} pins, gate has "
+                    f"{gate.arity}")
+            continue
+        gate.pin_delays = tuple(delays)
+        applied += 1
+    return applied
+
+
+def load_sdf(circuit: Circuit, path: str | Path, *, strict: bool = True) -> int:
+    return apply_sdf(circuit, Path(path).read_text(), strict=strict)

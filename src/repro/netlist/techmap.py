@@ -1,0 +1,159 @@
+"""Netlist transformations: gate decomposition and fanout buffering.
+
+Synthesis decisions reshape the path-delay population the FAST flow works
+on.  Two classic transforms are provided, both producing a *new* finalized
+circuit that is functionally equivalent (the tests prove it by exhaustive/
+random bit-parallel simulation):
+
+* :func:`decompose_wide_gates` — replace gates wider than ``max_arity``
+  with balanced trees of 2-input cells (``NAND4 → NAND2(AND2, AND2)``),
+  deepening paths and shrinking per-gate delays,
+* :func:`buffer_fanouts` — split nets driving more than ``max_fanout``
+  loads with buffer trees, the standard fix for load-dominated delays.
+
+Both keep flip-flop and primary-output structure intact, so flow results
+before/after a transform are directly comparable.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.cells import CellLibrary
+from repro.netlist.circuit import Circuit, GateKind
+
+#: Wide kind -> (leaf kind for the lower tree levels, root kind).
+_DECOMPOSE = {
+    GateKind.AND: (GateKind.AND, GateKind.AND),
+    GateKind.OR: (GateKind.OR, GateKind.OR),
+    GateKind.NAND: (GateKind.AND, GateKind.NAND),
+    GateKind.NOR: (GateKind.OR, GateKind.NOR),
+    GateKind.XOR: (GateKind.XOR, GateKind.XOR),
+    GateKind.XNOR: (GateKind.XOR, GateKind.XNOR),
+}
+
+
+def decompose_wide_gates(circuit: Circuit, *, max_arity: int = 2,
+                         library: CellLibrary | None = None,
+                         suffix: str = "_dec") -> Circuit:
+    """Rebuild the circuit with no gate wider than ``max_arity``."""
+    if max_arity < 2:
+        raise ValueError("max_arity must be >= 2")
+    out = Circuit(circuit.name + suffix)
+    mapping: dict[int, int] = {}
+    aux = 0
+
+    for g in circuit.gates:
+        if g.kind == GateKind.INPUT:
+            mapping[g.index] = out.add_input(g.name)
+        elif g.kind == GateKind.DFF:
+            mapping[g.index] = out.add_dff(g.name, None)
+        elif g.kind in (GateKind.CONST0, GateKind.CONST1):
+            mapping[g.index] = out.add_const(
+                g.name, 1 if g.kind == GateKind.CONST1 else 0)
+
+    def tree(kind: str, sources: list[int], name: str) -> int:
+        """Balanced reduction tree over already-mapped source indices."""
+        nonlocal aux
+        leaf_kind, root_kind = _DECOMPOSE[kind]
+        level = list(sources)
+        while len(level) > max_arity:
+            nxt: list[int] = []
+            for i in range(0, len(level), max_arity):
+                chunk = level[i:i + max_arity]
+                if len(chunk) == 1:
+                    nxt.append(chunk[0])
+                    continue
+                aux += 1
+                nxt.append(out.add_gate(f"{name}__t{aux}", leaf_kind, chunk))
+            level = nxt
+        return out.add_gate(name, root_kind, level)
+
+    for idx in circuit.topo_order:
+        g = circuit.gates[idx]
+        if not GateKind.is_combinational(g.kind):
+            continue
+        srcs = [mapping[s] for s in g.fanin]
+        if g.arity <= max_arity or g.kind not in _DECOMPOSE:
+            mapping[idx] = out.add_gate(g.name, g.kind, srcs)
+        else:
+            mapping[idx] = tree(g.kind, srcs, g.name)
+
+    for g in circuit.gates:
+        if g.kind == GateKind.DFF:
+            out.connect_dff(g.name, mapping[g.fanin[0]])
+    for po in circuit.outputs:
+        out.mark_output(mapping[po])
+    return out.finalize(library=library)
+
+
+def buffer_fanouts(circuit: Circuit, *, max_fanout: int = 4,
+                   library: CellLibrary | None = None,
+                   suffix: str = "_buf") -> Circuit:
+    """Rebuild the circuit with buffer trees on heavily-loaded nets.
+
+    Consumers beyond the first ``max_fanout`` are moved onto inserted
+    ``BUF`` stages (round-robin), bounding every net's fanout.
+    """
+    if max_fanout < 2:
+        raise ValueError("max_fanout must be >= 2")
+    out = Circuit(circuit.name + suffix)
+    mapping: dict[int, int] = {}
+    #: per original net: list of buffered aliases to hand to consumers.
+    taps: dict[int, list[int]] = {}
+    tap_uses: dict[int, int] = {}
+    aux = 0
+
+    for g in circuit.gates:
+        if g.kind == GateKind.INPUT:
+            mapping[g.index] = out.add_input(g.name)
+        elif g.kind == GateKind.DFF:
+            mapping[g.index] = out.add_dff(g.name, None)
+        elif g.kind in (GateKind.CONST0, GateKind.CONST1):
+            mapping[g.index] = out.add_const(
+                g.name, 1 if g.kind == GateKind.CONST1 else 0)
+
+    def build_tree(src: int, n_loads: int) -> list[int]:
+        """Buffer tree under ``src`` with >= ceil(n_loads/max_fanout)
+        leaves, cascading levels so no net exceeds ``max_fanout``."""
+        nonlocal aux
+        leaves = [mapping[src]]
+        while n_loads > len(leaves) * max_fanout:
+            need = -(-n_loads // max_fanout)
+            next_leaves: list[int] = []
+            for parent in leaves:
+                for _ in range(max_fanout):
+                    if len(next_leaves) >= need:
+                        break
+                    aux += 1
+                    next_leaves.append(out.add_gate(
+                        f"{circuit.gates[src].name}__b{aux}",
+                        GateKind.BUF, [parent]))
+                if len(next_leaves) >= need:
+                    break
+            leaves = next_leaves
+        return leaves
+
+    def tap_of(src: int) -> int:
+        """Next available (possibly buffered) alias of a source net."""
+        if src not in taps:
+            n_loads = len(circuit.fanouts(src)) + (
+                1 if src in circuit.outputs else 0)
+            taps[src] = build_tree(src, n_loads)
+            tap_uses[src] = 0
+        aliases = taps[src]
+        i = tap_uses[src] // max_fanout
+        tap_uses[src] += 1
+        return aliases[min(i, len(aliases) - 1)]
+
+    for idx in circuit.topo_order:
+        g = circuit.gates[idx]
+        if not GateKind.is_combinational(g.kind):
+            continue
+        srcs = [tap_of(s) for s in g.fanin]
+        mapping[idx] = out.add_gate(g.name, g.kind, srcs)
+
+    for g in circuit.gates:
+        if g.kind == GateKind.DFF:
+            out.connect_dff(g.name, tap_of(g.fanin[0]))
+    for po in circuit.outputs:
+        out.mark_output(mapping[po])
+    return out.finalize(library=library)

@@ -1,0 +1,71 @@
+"""Netlist sanity checks.
+
+Run :func:`validate_circuit` before handing a parsed or generated netlist to
+the flow; it reports structural problems that the simulators would otherwise
+surface as confusing downstream errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Circuit, GateKind
+
+
+@dataclass
+class ValidationReport:
+    """Findings of one validation run.  ``errors`` make the netlist unusable;
+    ``warnings`` are suspicious but tolerated (e.g. dangling logic)."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def raise_on_error(self) -> None:
+        if self.errors:
+            raise ValueError("invalid netlist: " + "; ".join(self.errors[:5]))
+
+
+def validate_circuit(circuit: Circuit) -> ValidationReport:
+    """Check a finalized circuit for structural problems."""
+    report = ValidationReport()
+    if not circuit.is_finalized:
+        report.errors.append("circuit is not finalized")
+        return report
+
+    observed = {op.gate for op in circuit.observation_points()}
+    if not observed:
+        report.errors.append("circuit has no observation points")
+    if not circuit.inputs and not circuit.dffs:
+        report.errors.append("circuit has no sources")
+
+    for g in circuit.gates:
+        if GateKind.is_combinational(g.kind):
+            if not g.pin_delays:
+                report.errors.append(f"gate {g.name!r} has no delays")
+            elif len(g.pin_delays) != g.arity:
+                report.errors.append(
+                    f"gate {g.name!r}: {len(g.pin_delays)} delay entries for "
+                    f"{g.arity} pins")
+            elif any(r <= 0 or f <= 0 for r, f in g.pin_delays):
+                report.errors.append(f"gate {g.name!r} has non-positive delay")
+            if not circuit.fanouts(g.index) and g.index not in circuit.outputs:
+                report.warnings.append(
+                    f"gate {g.name!r} is dangling (no fanout, not a PO)")
+        elif g.kind == GateKind.DFF and not g.fanin:
+            report.errors.append(f"DFF {g.name!r} has no data input")
+
+    # Every source should reach some observation point.
+    reaching: set[int] = set(observed)
+    for idx in reversed(circuit.topo_order):
+        if idx in reaching:
+            for src in circuit.gates[idx].fanin:
+                reaching.add(src)
+    for idx in circuit.inputs:
+        if idx not in reaching:
+            report.warnings.append(
+                f"input {circuit.gates[idx].name!r} reaches no output")
+    return report

@@ -1,0 +1,232 @@
+"""Structural Verilog subset — writer and reader.
+
+Covers gate-level netlists as produced by synthesis against the bundled
+library model::
+
+    module s27 (G0, G1, G17);
+      input G0, G1;
+      output G17;
+      wire w1;
+      NAND2_X1 g1 (.A(G0), .B(G1), .ZN(w1));
+      DFF_X1 ff1 (.D(w1), .Q(G17));
+    endmodule
+
+Supported: one module per file, named port connections, input/output/wire
+declarations (comma lists), cells of the bundled library plus ``DFF_X1``.
+Input pins are ``A``-``D`` (in pin order), outputs ``Z``/``ZN``/``Q``.
+Unsupported constructs raise :class:`VerilogParseError` — this is a netlist
+exchange format, not a Verilog front end.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.netlist.cells import CellLibrary
+from repro.netlist.circuit import Circuit, GateKind
+
+_PIN_NAMES = ("A", "B", "C", "D")
+_OUT_PINS = ("Z", "ZN", "Q")
+
+#: cell-name prefix -> gate kind (drive strength suffix ignored).
+_CELL_KINDS = {
+    "INV": GateKind.NOT,
+    "BUF": GateKind.BUF,
+    "NAND": GateKind.NAND,
+    "NOR": GateKind.NOR,
+    "AND": GateKind.AND,
+    "OR": GateKind.OR,
+    "XOR": GateKind.XOR,
+    "XNOR": GateKind.XNOR,
+    "DFF": GateKind.DFF,
+}
+
+_KIND_CELLS = {
+    GateKind.NOT: "INV_X1",
+    GateKind.BUF: "BUF_X1",
+    GateKind.NAND: "NAND{n}_X1",
+    GateKind.NOR: "NOR{n}_X1",
+    GateKind.AND: "AND{n}_X1",
+    GateKind.OR: "OR{n}_X1",
+    GateKind.XOR: "XOR2_X1",
+    GateKind.XNOR: "XNOR2_X1",
+}
+
+
+class VerilogParseError(ValueError):
+    """Raised on unsupported or malformed structural Verilog."""
+
+
+def _sanitize(name: str) -> str:
+    """Make a net name a legal Verilog identifier."""
+    clean = re.sub(r"[^A-Za-z0-9_$]", "_", name)
+    if not re.match(r"[A-Za-z_]", clean):
+        clean = "n_" + clean
+    return clean
+
+
+def write_verilog(circuit: Circuit) -> str:
+    """Serialize a circuit as structural Verilog."""
+    names = {g.index: _sanitize(g.name) for g in circuit.gates}
+    if len(set(names.values())) != len(names):
+        # Disambiguate collisions introduced by sanitizing.
+        seen: dict[str, int] = {}
+        for idx in sorted(names):
+            base = names[idx]
+            if base in seen:
+                seen[base] += 1
+                names[idx] = f"{base}__{seen[base]}"
+            else:
+                seen[base] = 0
+
+    pis = [names[i] for i in circuit.inputs]
+    pos = [names[i] for i in circuit.outputs]
+    ports = pis + [p for p in pos if p not in pis]
+    lines = [f"module {_sanitize(circuit.name)} ({', '.join(ports)});"]
+    if pis:
+        lines.append(f"  input {', '.join(pis)};")
+    if pos:
+        lines.append(f"  output {', '.join(dict.fromkeys(pos))};")
+    wires = [names[g.index] for g in circuit.gates
+             if g.kind not in (GateKind.INPUT,) and names[g.index] not in pos]
+    if wires:
+        lines.append(f"  wire {', '.join(wires)};")
+    inst = 0
+    for g in circuit.gates:
+        if g.kind == GateKind.INPUT:
+            continue
+        if g.kind in (GateKind.CONST0, GateKind.CONST1):
+            value = "1'b1" if g.kind == GateKind.CONST1 else "1'b0"
+            lines.append(f"  assign {names[g.index]} = {value};")
+            continue
+        if g.kind == GateKind.DFF:
+            cell = "DFF_X1"
+            conns = [f".D({names[g.fanin[0]]})", f".Q({names[g.index]})"]
+        else:
+            cell = g.cell or _KIND_CELLS[g.kind].format(n=g.arity)
+            conns = [f".{_PIN_NAMES[p]}({names[s]})"
+                     for p, s in enumerate(g.fanin)]
+            out_pin = "ZN" if g.kind in (GateKind.NOT, GateKind.NAND,
+                                         GateKind.NOR, GateKind.XNOR) else "Z"
+            conns.append(f".{out_pin}({names[g.index]})")
+        lines.append(f"  {cell} U{inst} ({', '.join(conns)});")
+        inst += 1
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def save_verilog(circuit: Circuit, path: str | Path) -> None:
+    Path(path).write_text(write_verilog(circuit))
+
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>\w+)\s*\((?P<ports>[^)]*)\)\s*;", re.S)
+_DECL_RE = re.compile(r"(?P<kind>input|output|wire)\s+(?P<names>[^;]+);")
+_INST_RE = re.compile(
+    r"(?P<cell>[A-Za-z_]\w*)\s+(?P<inst>\w+)\s*\((?P<conns>[^;]*)\)\s*;")
+_CONN_RE = re.compile(r"\.(?P<pin>\w+)\s*\(\s*(?P<net>[\w$]+)\s*\)")
+_ASSIGN_RE = re.compile(r"assign\s+(?P<net>[\w$]+)\s*=\s*1'b(?P<val>[01])\s*;")
+
+
+def _cell_kind(cell: str) -> str:
+    for prefix, kind in sorted(_CELL_KINDS.items(), key=lambda kv: -len(kv[0])):
+        if cell.upper().startswith(prefix):
+            return kind
+    raise VerilogParseError(f"unknown cell {cell!r}")
+
+
+def parse_verilog(text: str, *, library: CellLibrary | None = None) -> Circuit:
+    """Parse structural Verilog into a finalized circuit."""
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    m = _MODULE_RE.search(text)
+    if not m:
+        raise VerilogParseError("no module found")
+    body = text[m.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise VerilogParseError("missing endmodule")
+    body = body[:end]
+
+    inputs: list[str] = []
+    outputs: list[str] = []
+    for d in _DECL_RE.finditer(body):
+        names = [n.strip() for n in d.group("names").split(",") if n.strip()]
+        if d.group("kind") == "input":
+            inputs.extend(names)
+        elif d.group("kind") == "output":
+            outputs.extend(names)
+
+    # Collect instances: output net -> (kind, ordered input nets).
+    defs: dict[str, tuple[str, list[str]]] = {}
+    decl_body = _DECL_RE.sub("", body)
+    for a in _ASSIGN_RE.finditer(decl_body):
+        kind = GateKind.CONST1 if a.group("val") == "1" else GateKind.CONST0
+        defs[a.group("net")] = (kind, [])
+    inst_body = _ASSIGN_RE.sub("", decl_body)
+    for i in _INST_RE.finditer(inst_body):
+        if i.group("cell") == "module":
+            continue
+        kind = _cell_kind(i.group("cell"))
+        pins: dict[str, str] = {}
+        for c in _CONN_RE.finditer(i.group("conns")):
+            pins[c.group("pin").upper()] = c.group("net")
+        out_net = next((pins[p] for p in _OUT_PINS if p in pins), None)
+        if out_net is None:
+            raise VerilogParseError(
+                f"instance {i.group('inst')!r} has no output pin")
+        if kind == GateKind.DFF:
+            ins = [pins["D"]] if "D" in pins else []
+        else:
+            ins = [pins[p] for p in _PIN_NAMES if p in pins]
+        if out_net in defs:
+            raise VerilogParseError(f"net {out_net!r} driven twice")
+        defs[out_net] = (kind, ins)
+
+    circuit = Circuit(m.group("name"))
+    for pi in inputs:
+        circuit.add_input(pi)
+    dffs = [n for n, (k, _i) in defs.items() if k == GateKind.DFF]
+    for n in dffs:
+        circuit.add_dff(n, None)
+
+    state: dict[str, int] = {}
+
+    def build(net: str) -> None:
+        if circuit.has_gate(net):
+            return
+        if net not in defs:
+            raise VerilogParseError(f"undriven net {net!r}")
+        if state.get(net) == 0:
+            raise VerilogParseError(f"combinational cycle through {net!r}")
+        state[net] = 0
+        kind, ins = defs[net]
+        for src in ins:
+            build(src)
+        if kind in (GateKind.CONST0, GateKind.CONST1):
+            circuit.add_const(net, 1 if kind == GateKind.CONST1 else 0)
+        else:
+            circuit.add_gate(net, kind,
+                             [circuit.index_of(s) for s in ins])
+        state[net] = 1
+
+    for net, (kind, _ins) in defs.items():
+        if kind != GateKind.DFF:
+            build(net)
+    for n in dffs:
+        _kind, ins = defs[n]
+        if len(ins) != 1:
+            raise VerilogParseError(f"DFF {n!r} needs a D connection")
+        build(ins[0])
+        circuit.connect_dff(n, circuit.index_of(ins[0]))
+    for po in outputs:
+        if not circuit.has_gate(po):
+            raise VerilogParseError(f"output {po!r} is undriven")
+        circuit.mark_output(circuit.index_of(po))
+    return circuit.finalize(library=library)
+
+
+def load_verilog(path: str | Path, *,
+                 library: CellLibrary | None = None) -> Circuit:
+    return parse_verilog(Path(path).read_text(), library=library)

@@ -1,0 +1,28 @@
+"""FAST test-schedule optimization (Sec. IV of the paper).
+
+* :mod:`repro.scheduling.discretize` — observation-time discretization
+  (Sec. IV-A, Fig. 5),
+* :mod:`repro.scheduling.setcover` — set-covering solvers: greedy heuristic,
+  exact branch-and-bound, and 0-1 ILP via scipy/HiGHS (the stand-in for the
+  paper's commercial solver),
+* :mod:`repro.scheduling.schedule` — the two-step optimization: minimal
+  frequency selection, then per-frequency pattern × monitor-configuration
+  selection (Sec. IV-B/C),
+* :mod:`repro.scheduling.baselines` — conventional FAST (no monitors) and
+  the greedy heuristic of [17] for Table II comparisons.
+"""
+
+from repro.scheduling.discretize import PeriodCandidate, discretize_observation_times
+from repro.scheduling.schedule import ScheduleEntry, ScheduleResult, optimize_schedule
+from repro.scheduling.setcover import CoverProblem, greedy_cover, ilp_cover
+
+__all__ = [
+    "PeriodCandidate",
+    "discretize_observation_times",
+    "ScheduleEntry",
+    "ScheduleResult",
+    "optimize_schedule",
+    "CoverProblem",
+    "greedy_cover",
+    "ilp_cover",
+]

@@ -1,0 +1,124 @@
+"""Observation-time discretization (Sec. IV-A, Fig. 5).
+
+The boundaries of all fault detection intervals partition the observable
+window ``[t_min, t_nom]`` into segments within which the set of detected
+faults is constant.  One candidate test clock period is taken at the
+*midpoint* of each useful segment — midpoints are robust against small
+process variations, which is why the paper selects them.
+
+Two pruning levels:
+
+* adjacent segments with identical fault sets are always merged,
+* with ``prune_dominated=True``, segments whose fault set is a subset of
+  another candidate's are removed — this preserves set-cover optimality
+  while shrinking the ILP (the paper's "representative intervals" keep only
+  the locally richest segments; dominance pruning is the lossless version).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.utils.intervals import Interval, IntervalSet, segment_axis
+
+
+@dataclass(frozen=True)
+class PeriodCandidate:
+    """One candidate FAST clock period.
+
+    ``time`` is the segment midpoint; ``faults`` the indices of target
+    faults whose detection range covers the whole segment.
+    """
+
+    time: float
+    segment: Interval
+    faults: frozenset[int]
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.faults)
+
+
+def _pick_time(segment: Interval, point: str) -> float:
+    """Observation time inside a segment according to the policy.
+
+    ``"mid"`` is the paper's robust choice; ``"lo"``/``"hi"`` sit a sliver
+    inside the segment edges and exist for the robustness ablation that
+    demonstrates *why* midpoints are the right call under variation.
+    """
+    margin = min(1e-6, 0.01 * segment.length)
+    if point == "mid":
+        return segment.midpoint
+    if point == "lo":
+        return segment.lo + margin
+    if point == "hi":
+        return segment.hi - margin
+    raise ValueError(f"unknown candidate point policy {point!r}")
+
+
+def discretize_observation_times(
+    fault_ranges: Mapping[int, IntervalSet],
+    t_min: float,
+    t_nom: float,
+    *,
+    prune_dominated: bool = True,
+    point: str = "mid",
+) -> list[PeriodCandidate]:
+    """Build candidate periods from per-fault observable detection ranges.
+
+    ``fault_ranges`` maps fault index → detection range already clipped to
+    the observable window.  ``point`` selects where inside each segment the
+    candidate time sits (``"mid"``, the default and the paper's choice, or
+    ``"lo"``/``"hi"`` for the robustness ablation).  Returns candidates
+    sorted by ascending time.
+    """
+    boundaries: list[float] = []
+    for rng in fault_ranges.values():
+        boundaries.extend(rng.boundaries())
+    segments = segment_axis(boundaries, t_min, t_nom)
+
+    candidates: list[PeriodCandidate] = []
+    for seg in segments:
+        mid = seg.midpoint
+        detected = frozenset(
+            fi for fi, rng in fault_ranges.items() if rng.contains(mid))
+        if not detected:
+            continue
+        if (candidates and candidates[-1].faults == detected
+                and abs(candidates[-1].segment.hi - seg.lo) <= 1e-9):
+            # Merge *contiguous* segments detecting the identical fault set
+            # (never across a gap whose own fault set was empty).
+            prev = candidates.pop()
+            merged = Interval(prev.segment.lo, seg.hi)
+            candidates.append(PeriodCandidate(
+                time=_pick_time(merged, point), segment=merged,
+                faults=detected))
+        else:
+            candidates.append(PeriodCandidate(
+                time=_pick_time(seg, point), segment=seg, faults=detected))
+
+    if prune_dominated:
+        candidates = _prune_dominated(candidates)
+    return candidates
+
+
+def _prune_dominated(candidates: list[PeriodCandidate]) -> list[PeriodCandidate]:
+    """Drop candidates whose fault set is a subset of another's.
+
+    Keeps the later (slower-clock) candidate on ties so schedules prefer
+    frequencies closer to nominal, which are cheaper to generate.
+    """
+    keep: list[PeriodCandidate] = []
+    by_size = sorted(enumerate(candidates),
+                     key=lambda iv: (-iv[1].fault_count, -iv[1].time))
+    kept_sets: list[frozenset[int]] = []
+    kept_idx: list[int] = []
+    for idx, cand in by_size:
+        if any(cand.faults <= s for s in kept_sets):
+            continue
+        kept_sets.append(cand.faults)
+        kept_idx.append(idx)
+    kept_idx.sort()
+    keep = [candidates[i] for i in kept_idx]
+    return keep

@@ -1,0 +1,99 @@
+"""Schedule serialization and tester-program export.
+
+A :class:`~repro.scheduling.schedule.ScheduleResult` is the flow's final
+product; this module turns it into artifacts a test engineer can consume:
+
+* :func:`schedule_to_dict` / :func:`schedule_from_dict` — lossless JSON-able
+  round trip (periods, entries, targets, method),
+* :func:`write_tester_program` — a human-readable program listing: one
+  block per FAST frequency (with the PLL re-lock step made explicit),
+  inside it one line per pattern application with the monitor
+  configuration to shift in.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.monitors.monitor import MonitorConfigSet
+from repro.scheduling.schedule import FF_ONLY_CONFIG, ScheduleEntry, ScheduleResult
+
+#: Format identifier embedded in exported dictionaries.
+FORMAT = "repro-schedule/1"
+
+
+def schedule_to_dict(schedule: ScheduleResult) -> dict[str, Any]:
+    """Lossless dictionary representation (JSON compatible)."""
+    return {
+        "format": FORMAT,
+        "method": schedule.method,
+        "num_candidates": schedule.num_candidates,
+        "periods": list(schedule.periods),
+        "targets": sorted(schedule.targets),
+        "covered": sorted(schedule.covered),
+        "entries": [
+            {"period": e.period, "pattern": e.pattern, "config": e.config}
+            for e in schedule.entries
+        ],
+        "per_period_faults": {
+            repr(period): sorted(faults)
+            for period, faults in schedule.per_period_faults.items()
+        },
+    }
+
+
+def schedule_from_dict(data: dict[str, Any]) -> ScheduleResult:
+    """Inverse of :func:`schedule_to_dict`."""
+    if data.get("format") != FORMAT:
+        raise ValueError(f"unsupported schedule format {data.get('format')!r}")
+    return ScheduleResult(
+        periods=[float(p) for p in data["periods"]],
+        entries=[ScheduleEntry(period=float(e["period"]),
+                               pattern=int(e["pattern"]),
+                               config=int(e["config"]))
+                 for e in data["entries"]],
+        targets=frozenset(int(f) for f in data["targets"]),
+        covered=frozenset(int(f) for f in data["covered"]),
+        method=str(data["method"]),
+        num_candidates=int(data["num_candidates"]),
+        per_period_faults={
+            float(k): frozenset(v)  # repr(float) parses back losslessly
+            for k, v in data.get("per_period_faults", {}).items()
+        },
+    )
+
+
+def save_schedule(schedule: ScheduleResult, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=2))
+
+
+def load_schedule(path: str | Path) -> ScheduleResult:
+    return schedule_from_dict(json.loads(Path(path).read_text()))
+
+
+def write_tester_program(schedule: ScheduleResult,
+                         configs: MonitorConfigSet | None = None,
+                         *, circuit_name: str = "",
+                         t_nom: float | None = None) -> str:
+    """Render the schedule as a frequency-grouped application listing."""
+    lines = [f"# FAST test program{' for ' + circuit_name if circuit_name else ''}",
+             f"# method: {schedule.method}; "
+             f"{schedule.num_frequencies} frequencies, "
+             f"{schedule.num_entries} applications"]
+    for period in schedule.periods:
+        entries = schedule.entries_at(period)
+        ratio = f" ({t_nom / period:.2f} x f_nom)" if t_nom else ""
+        lines.append("")
+        lines.append(f"SET_CLOCK period={period:.3f}ps{ratio}  "
+                     f"# PLL re-lock")
+        for e in sorted(entries, key=lambda x: (x.config, x.pattern)):
+            if e.config == FF_ONLY_CONFIG:
+                cfg = "monitors=off"
+            elif configs is not None:
+                cfg = f"monitor_delay={configs[e.config]:.3f}ps (cfg {e.config})"
+            else:
+                cfg = f"cfg {e.config}"
+            lines.append(f"  APPLY pattern={e.pattern:<5d} {cfg}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,229 @@
+"""Two-step FAST test-schedule optimization (Sec. IV-B/C).
+
+Step 1 minimizes the number of test frequencies — PLL re-locking dominates
+test time, so frequencies are more expensive than patterns (Sec. IV-B).
+Step 2 walks the selected periods with a fault-dropping heuristic (richest
+period first) and, per period, minimizes the number of
+(pattern, monitor-configuration) combinations covering the period's faults.
+
+Both steps are set-covering problems; ``solver`` chooses between the exact
+0-1 ILP (``"ilp"``, the paper's approach) and the greedy heuristic
+(``"greedy"``, the [17] baseline).
+
+A schedule is a set of triples ``(frequency, pattern, configuration)``
+(Sec. III-A: ``S ⊆ F × P × C``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.faults.detection import DetectionData
+from repro.monitors.monitor import MonitorConfigSet
+from repro.monitors.shifting import observable_range
+from repro.scheduling.discretize import PeriodCandidate, discretize_observation_times
+from repro.scheduling.setcover import (
+    DEFAULT_TIME_LIMIT_S,
+    CoverProblem,
+    greedy_cover,
+    ilp_cover,
+)
+from repro.timing.clock import ClockSpec
+from repro.utils.intervals import IntervalSet
+
+Solver = Literal["ilp", "greedy"]
+
+#: Config index used when a fault is captured by the standard flip-flops and
+#: the monitor configuration is irrelevant for the entry.
+FF_ONLY_CONFIG = -1
+
+
+@dataclass(frozen=True, order=True)
+class ScheduleEntry:
+    """One scheduled application: pattern ``pattern`` at clock period
+    ``period`` under monitor configuration ``config``."""
+
+    period: float
+    pattern: int
+    config: int
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of the two-step optimization."""
+
+    periods: list[float]
+    entries: list[ScheduleEntry]
+    targets: frozenset[int]
+    covered: frozenset[int]
+    method: str
+    num_candidates: int
+    per_period_faults: dict[float, frozenset[int]] = field(default_factory=dict)
+
+    @property
+    def num_frequencies(self) -> int:
+        return len(self.periods)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    @property
+    def coverage(self) -> float:
+        if not self.targets:
+            return 1.0
+        return len(self.covered) / len(self.targets)
+
+    def naive_size(self, num_patterns: int, num_configs: int) -> int:
+        """|P × C × F| of the naïve schedule: every pattern under every
+        configuration (including monitors-off) at every selected frequency."""
+        return num_patterns * (num_configs + 1) * self.num_frequencies
+
+    def reduction_percent(self, num_patterns: int, num_configs: int) -> float:
+        """Δ%|PC| = (1 - |S| / |P×C×F|) · 100 (Table II/III)."""
+        naive = self.naive_size(num_patterns, num_configs)
+        if naive == 0:
+            return 0.0
+        return (1.0 - self.num_entries / naive) * 100.0
+
+    def entries_at(self, period: float) -> list[ScheduleEntry]:
+        return [e for e in self.entries if abs(e.period - period) < 1e-9]
+
+
+def _solve(problem: CoverProblem, solver: Solver, coverage: float,
+           time_limit: float) -> list[int]:
+    if solver == "ilp":
+        return ilp_cover(problem, coverage=coverage, time_limit=time_limit)
+    if solver == "greedy":
+        return greedy_cover(problem, coverage=coverage)
+    raise ValueError(f"unknown solver {solver!r}")
+
+
+def target_ranges(data: DetectionData, targets: frozenset[int] | set[int],
+                  clock: ClockSpec, configs: MonitorConfigSet | None
+                  ) -> dict[int, IntervalSet]:
+    """Observable detection range per target fault (monitors optional)."""
+    config_delays = tuple(configs) if configs is not None else ()
+    out: dict[int, IntervalSet] = {}
+    for fi in targets:
+        rng = observable_range(data.union_all(fi), data.union_mon(fi),
+                               config_delays, clock.t_min, clock.t_nom)
+        if not rng.is_empty:
+            out[fi] = rng
+    return out
+
+
+def order_periods_fault_dropping(
+    chosen: list[PeriodCandidate],
+    covered: frozenset[int],
+) -> list[tuple[PeriodCandidate, frozenset[int]]]:
+    """Assign every covered fault to exactly one selected period.
+
+    Implements the paper's "heuristic selection that uses fault dropping":
+    periods are ranked by how many still-unassigned faults they detect; each
+    iteration takes the richest period and drops its faults.
+    """
+    remaining = set(covered)
+    pool = list(chosen)
+    ordered: list[tuple[PeriodCandidate, frozenset[int]]] = []
+    while pool and remaining:
+        best = max(pool, key=lambda c: (len(c.faults & remaining), c.time))
+        take = frozenset(best.faults & remaining)
+        pool.remove(best)
+        if not take:
+            continue
+        ordered.append((best, take))
+        remaining -= take
+    return ordered
+
+
+def _pattern_config_subsets(
+    data: DetectionData,
+    fault_set: frozenset[int],
+    period: float,
+    configs: MonitorConfigSet | None,
+) -> dict[tuple[int, int], set[int]]:
+    """Fault sets ``Φ_(m,n)`` detected by pattern m under config n at the
+    given period (Sec. IV-B).  Without monitors the config index is
+    :data:`FF_ONLY_CONFIG`."""
+    combos: dict[tuple[int, int], set[int]] = {}
+    for fi in fault_set:
+        for pi, fpr in data.ranges.get(fi, {}).items():
+            ff_hit = fpr.i_all.contains(period)
+            if configs is None:
+                if ff_hit:
+                    combos.setdefault((pi, FF_ONLY_CONFIG), set()).add(fi)
+                continue
+            for ci, d in enumerate(configs):
+                if ff_hit or fpr.i_mon.shifted(d).contains(period):
+                    combos.setdefault((pi, ci), set()).add(fi)
+    return combos
+
+
+def optimize_schedule(
+    data: DetectionData,
+    targets: set[int] | frozenset[int],
+    clock: ClockSpec,
+    configs: MonitorConfigSet | None,
+    *,
+    coverage: float = 1.0,
+    solver: Solver = "ilp",
+    time_limit: float = DEFAULT_TIME_LIMIT_S,
+    prune_dominated: bool = True,
+    candidate_point: str = "mid",
+) -> ScheduleResult:
+    """Run both optimization steps and return the complete test schedule.
+
+    ``configs`` may be None to schedule *without* monitors (the conventional
+    FAST baseline).  ``coverage`` relaxes step 1 to partial covering
+    (Table III); step 2 always fully covers the faults the selected
+    frequencies can reach.  ``candidate_point`` chooses where inside each
+    discretization segment the test period sits (``"mid"`` per the paper).
+    """
+    targets = frozenset(targets)
+    ranges = target_ranges(data, targets, clock, configs)
+    if not ranges:
+        return ScheduleResult(periods=[], entries=[], targets=targets,
+                              covered=frozenset(), method=solver,
+                              num_candidates=0)
+
+    candidates = discretize_observation_times(
+        ranges, clock.t_min, clock.t_nom, prune_dominated=prune_dominated,
+        point=candidate_point)
+
+    # ------------------------------------------------------------------
+    # Step 1: minimal frequency selection.
+    # ------------------------------------------------------------------
+    problem = CoverProblem(subsets=[c.faults for c in candidates])
+    chosen_idx = _solve(problem, solver, coverage, time_limit)
+    chosen = [candidates[j] for j in chosen_idx]
+    covered = frozenset().union(*(c.faults for c in chosen)) if chosen else frozenset()
+
+    # ------------------------------------------------------------------
+    # Step 2: per-frequency pattern/config selection.
+    # ------------------------------------------------------------------
+    entries: list[ScheduleEntry] = []
+    per_period: dict[float, frozenset[int]] = {}
+    for cand, fault_set in order_periods_fault_dropping(chosen, covered):
+        per_period[cand.time] = fault_set
+        combos = _pattern_config_subsets(data, fault_set, cand.time, configs)
+        keys = sorted(combos)
+        sub_problem = CoverProblem(
+            subsets=[frozenset(combos[k]) for k in keys],
+            universe=fault_set)
+        picked = _solve(sub_problem, solver, 1.0, time_limit)
+        entries.extend(
+            ScheduleEntry(period=cand.time, pattern=keys[j][0],
+                          config=keys[j][1])
+            for j in picked)
+
+    return ScheduleResult(
+        periods=sorted(per_period),
+        entries=sorted(entries),
+        targets=targets,
+        covered=covered,
+        method=solver,
+        num_candidates=len(candidates),
+        per_period_faults=per_period,
+    )

@@ -1,0 +1,80 @@
+"""VCD (Value Change Dump) export of simulation results.
+
+Dumps the waveforms of a :class:`~repro.simulation.wave_sim.SimResult` in
+IEEE-1364 VCD so any standard waveform viewer (GTKWave, …) can inspect a
+FAST pattern application, a fault's detection window or a monitor's guard
+band.  Times are emitted in integer femtoseconds (1 ps = 1000 fs time
+scale units avoids rounding sub-picosecond delay differences away).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.simulation.wave_sim import SimResult
+
+#: Femtoseconds per picosecond (VCD timescale is 1 fs).
+_FS = 1000
+
+# VCD identifier alphabet (printable ASCII ! through ~).
+_ID_FIRST, _ID_LAST = 33, 126
+
+
+def _identifier(index: int) -> str:
+    """Compact VCD identifier for the index-th signal."""
+    span = _ID_LAST - _ID_FIRST + 1
+    out = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, span)
+        out.append(chr(_ID_FIRST + rem))
+    return "".join(reversed(out))
+
+
+def write_vcd(result: SimResult, *, gates: Iterable[int] | None = None,
+              module: str | None = None, date: str = "",
+              comment: str = "repro waveform dump") -> str:
+    """Render waveforms as VCD text.
+
+    ``gates`` restricts the dump (defaults to every gate of the circuit).
+    """
+    circuit = result.circuit
+    selected = sorted(gates) if gates is not None else list(
+        range(len(circuit.gates)))
+    ids = {g: _identifier(i) for i, g in enumerate(selected)}
+
+    lines = []
+    if date:
+        lines += ["$date", f"  {date}", "$end"]
+    lines += ["$comment", f"  {comment}", "$end",
+              "$timescale 1fs $end",
+              f"$scope module {module or circuit.name} $end"]
+    for g in selected:
+        name = circuit.gates[g].name.replace(" ", "_")
+        lines.append(f"$var wire 1 {ids[g]} {name} $end")
+    lines += ["$upscope $end", "$enddefinitions $end"]
+
+    # Initial values.
+    lines.append("$dumpvars")
+    for g in selected:
+        lines.append(f"{result.waveforms[g].initial}{ids[g]}")
+    lines.append("$end")
+
+    # Merge all transitions into one global timeline.
+    changes: list[tuple[int, int, int]] = []  # (time_fs, gate, value)
+    for g in selected:
+        for t, v in result.waveforms[g].events:
+            changes.append((int(round(t * _FS)), g, v))
+    changes.sort()
+    current_time: int | None = None
+    for t_fs, g, v in changes:
+        if t_fs != current_time:
+            lines.append(f"#{t_fs}")
+            current_time = t_fs
+        lines.append(f"{v}{ids[g]}")
+    return "\n".join(lines) + "\n"
+
+
+def save_vcd(result: SimResult, path: str | Path, **kwargs: object) -> None:
+    Path(path).write_text(write_vcd(result, **kwargs))  # type: ignore[arg-type]

@@ -1,0 +1,182 @@
+"""Topological waveform simulator with pin-to-pin delays and fault injection.
+
+This is the CPU stand-in for the GPU-accelerated timing-accurate simulator of
+[20] used by the paper: for each test pattern pair it computes the complete
+signal *waveform* of every net, from which fault detection ranges are obtained
+by XOR-ing fault-free and faulty output waveforms.
+
+Semantics:
+
+* the launch transition of a pattern pair ``(v1, v2)`` happens at ``t = 0``
+  on every source (primary input or scan flip-flop output),
+* each combinational gate adds a pin-to-pin, polarity-dependent delay; when
+  several inputs toggle simultaneously the slowest toggling pin is charged
+  (pessimistic-late convention),
+* pulses narrower than the inertial threshold are filtered (Sec. II-A),
+* a small delay fault ``(site, polarity, δ)`` delays the selected transition
+  polarity of the signal at its site; faulty simulation re-evaluates only the
+  fanout cone of the site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.netlist.circuit import Circuit, GateKind
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with repro.faults
+    from repro.faults.models import SmallDelayFault
+from repro.simulation.logic import eval_binary
+from repro.simulation.waveform import Waveform, sequential_schedule
+
+#: Default inertial pulse-filter threshold in ps (glitches below this width
+#: do not propagate; also the paper's minimum detection-interval width).
+DEFAULT_INERTIAL_PS = 5.0
+
+
+@dataclass
+class SimResult:
+    """Waveforms of all gates for one pattern pair (fault-free or faulty)."""
+
+    circuit: Circuit
+    waveforms: list[Waveform]
+
+    def waveform_of(self, gate: int) -> Waveform:
+        return self.waveforms[gate]
+
+    def output_waveforms(self) -> dict[str, Waveform]:
+        """Waveforms at every observation point keyed by point name."""
+        return {op.name: self.waveforms[op.gate]
+                for op in self.circuit.observation_points()}
+
+
+class WaveformSimulator:
+    """Timing-accurate waveform simulation of a finalized circuit."""
+
+    def __init__(self, circuit: Circuit, *,
+                 inertial: float = DEFAULT_INERTIAL_PS) -> None:
+        if not circuit.is_finalized:
+            raise ValueError("circuit must be finalized before simulation")
+        self.circuit = circuit
+        self.inertial = inertial
+        # Evaluation order restricted to combinational gates.
+        self._eval_order = [i for i in circuit.topo_order
+                            if GateKind.is_combinational(circuit.gates[i].kind)]
+
+    # ------------------------------------------------------------------
+    # Fault-free simulation
+    # ------------------------------------------------------------------
+    def simulate(self, launch: Sequence[int], capture: Sequence[int]) -> SimResult:
+        """Simulate one pattern pair.
+
+        ``launch``/``capture`` assign v1/v2 to the circuit's sources in the
+        order returned by :meth:`Circuit.sources`.
+        """
+        sources = self.circuit.sources()
+        if len(launch) != len(sources) or len(capture) != len(sources):
+            raise ValueError(
+                f"pattern length {len(launch)}/{len(capture)} does not match "
+                f"{len(sources)} sources")
+        n = len(self.circuit.gates)
+        waves: list[Waveform | None] = [None] * n
+        for value_pair, idx in zip(zip(launch, capture), sources):
+            v1, v2 = value_pair
+            gate = self.circuit.gates[idx]
+            if gate.kind == GateKind.CONST0:
+                waves[idx] = Waveform.constant(0)
+            elif gate.kind == GateKind.CONST1:
+                waves[idx] = Waveform.constant(1)
+            elif v1 == v2:
+                waves[idx] = Waveform.constant(v2)
+            else:
+                waves[idx] = Waveform(v1, [(0.0, v2)])
+        for idx in self._eval_order:
+            gate = self.circuit.gates[idx]
+            inputs = [waves[s] for s in gate.fanin]
+            waves[idx] = self._eval_gate(gate.kind, inputs, gate.pin_delays)
+        # DFF outputs hold their launch value; give them their source wave.
+        result = [w if w is not None else Waveform.constant(0) for w in waves]
+        return SimResult(self.circuit, result)
+
+    # ------------------------------------------------------------------
+    # Faulty simulation (fanout-cone incremental)
+    # ------------------------------------------------------------------
+    def simulate_fault(self, base: SimResult, fault: "SmallDelayFault") -> SimResult:
+        """Faulty waveforms for ``fault`` given the fault-free result.
+
+        Only the fanout cone of the fault site is re-evaluated; all other
+        waveforms are shared with ``base``.
+        """
+        circuit = self.circuit
+        waves = list(base.waveforms)
+        site = fault.site
+        d_rise = fault.delta if fault.slow_to_rise else 0.0
+        d_fall = 0.0 if fault.slow_to_rise else fault.delta
+
+        if site.is_output_pin:
+            # Delay the gate's own output transitions, then propagate.
+            waves[site.gate] = waves[site.gate].delayed(
+                d_rise, d_fall, inertial=self.inertial)
+            dirty = circuit.fanout_cone(site.gate)
+        else:
+            # Delay the branch signal seen by this gate only.
+            gate = circuit.gates[site.gate]
+            inputs = [waves[s] for s in gate.fanin]
+            inputs[site.pin] = inputs[site.pin].delayed(
+                d_rise, d_fall, inertial=self.inertial)
+            waves[site.gate] = self._eval_gate(
+                gate.kind, inputs, gate.pin_delays)
+            dirty = circuit.fanout_cone(site.gate)
+
+        for idx in self._eval_order:
+            if idx not in dirty:
+                continue
+            gate = circuit.gates[idx]
+            inputs = [waves[s] for s in gate.fanin]
+            waves[idx] = self._eval_gate(gate.kind, inputs, gate.pin_delays)
+        return SimResult(circuit, waves)
+
+    # ------------------------------------------------------------------
+    # Gate evaluation
+    # ------------------------------------------------------------------
+    def _eval_gate(self, kind: str, inputs: list[Waveform],
+                   pin_delays: tuple[tuple[float, float], ...]) -> Waveform:
+        """Output waveform of one gate from its input waveforms."""
+        init_vals = [w.initial for w in inputs]
+        out_init = eval_binary(kind, init_vals)
+
+        # Merged timeline of input events: (time, pin, new value).
+        timeline: list[tuple[float, int, int]] = []
+        for pin, w in enumerate(inputs):
+            timeline.extend((t, pin, v) for t, v in w.events)
+        if not timeline:
+            return Waveform.constant(out_init)
+        timeline.sort(key=lambda e: e[0])
+
+        cur_vals = init_vals
+        cur_out = out_init
+        out_events: list[tuple[float, int]] = []
+        i = 0
+        n = len(timeline)
+        while i < n:
+            t = timeline[i][0]
+            changed: list[int] = []
+            while i < n and timeline[i][0] - t <= 1e-9:
+                _t, pin, v = timeline[i]
+                cur_vals[pin] = v
+                changed.append(pin)
+                i += 1
+            new_out = eval_binary(kind, cur_vals)
+            if new_out != cur_out:
+                # Charge the slowest simultaneously-toggling pin.
+                delay = max(
+                    pin_delays[p][0] if new_out == 1 else pin_delays[p][1]
+                    for p in changed)
+                out_events.append((t + delay, new_out))
+                cur_out = new_out
+        # Inertial scheduling in causal order: unequal rise/fall delays can
+        # make a later edge overtake an earlier one — the pulse annihilates
+        # rather than surviving as a spurious permanent value change.
+        return Waveform(out_init, sequential_schedule(
+            out_init, out_events, self.inertial))

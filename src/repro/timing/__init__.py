@@ -1,0 +1,22 @@
+"""Static timing analysis, clocking helpers and process-variation models."""
+
+from repro.timing.sta import StaResult, run_sta
+from repro.timing.clock import ClockSpec
+from repro.timing.paths import (
+    TimingPath,
+    endpoint_arrival_histogram,
+    k_longest_paths,
+    k_shortest_paths,
+    short_path_fraction,
+)
+
+__all__ = [
+    "StaResult",
+    "run_sta",
+    "ClockSpec",
+    "TimingPath",
+    "endpoint_arrival_histogram",
+    "k_longest_paths",
+    "k_shortest_paths",
+    "short_path_fraction",
+]

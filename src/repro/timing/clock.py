@@ -1,0 +1,73 @@
+"""Clocking helpers for FAST.
+
+Groups the frequency-domain quantities the paper works with: the nominal
+period ``t_nom = 1/f_nom``, the maximum FAST frequency ``f_max`` (typically
+bounded by ``3 * f_nom`` [9-11]) and therefore the observable window
+``(t_min, t_nom)`` with ``t_min = t_nom / fast_ratio``, plus the PLL-relock
+cost model used by the test-time accounting (Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default bound f_max = 3 * f_nom (Sec. III).
+DEFAULT_FAST_RATIO = 3.0
+
+#: PLL re-lock penalty expressed in equivalent pattern applications.  The
+#: paper cites tens to hundreds of microseconds per frequency switch,
+#: i.e. thousands of lost cycles [21, 22]; we use a conservative default.
+DEFAULT_PLL_RELOCK_PATTERNS = 2000.0
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """Nominal clock and FAST window of one circuit (times in ps)."""
+
+    t_nom: float
+    fast_ratio: float = DEFAULT_FAST_RATIO
+
+    def __post_init__(self) -> None:
+        if self.t_nom <= 0:
+            raise ValueError("t_nom must be positive")
+        if self.fast_ratio < 1.0:
+            raise ValueError("fast_ratio must be >= 1")
+
+    @property
+    def t_min(self) -> float:
+        """Fastest usable capture time ``t_nom / fast_ratio``."""
+        return self.t_nom / self.fast_ratio
+
+    @property
+    def f_nom(self) -> float:
+        """Nominal frequency in 1/ps."""
+        return 1.0 / self.t_nom
+
+    @property
+    def f_max(self) -> float:
+        return self.fast_ratio / self.t_nom
+
+    def frequency_of(self, period: float) -> float:
+        return 1.0 / period
+
+    def in_window(self, period: float) -> bool:
+        """True when ``period`` lies in the observable FAST window."""
+        return self.t_min <= period <= self.t_nom
+
+    def with_ratio(self, fast_ratio: float) -> "ClockSpec":
+        return ClockSpec(self.t_nom, fast_ratio)
+
+
+def application_time(num_frequencies: int, num_pattern_configs: int, *,
+                          relock_cost: float = DEFAULT_PLL_RELOCK_PATTERNS
+                          ) -> float:
+    """Total test time in pattern-application units.
+
+    Every selected frequency requires one PLL re-lock (`relock_cost` pattern
+    equivalents); every scheduled (pattern, configuration) pair costs one
+    application.  This is the quantity the schedule optimization minimizes,
+    dominated by the frequency count (Sec. IV-B).
+    """
+    if num_frequencies < 0 or num_pattern_configs < 0:
+        raise ValueError("counts must be non-negative")
+    return num_frequencies * relock_cost + num_pattern_configs

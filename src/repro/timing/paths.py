@@ -1,0 +1,148 @@
+"""Path statistics and critical-path extraction.
+
+The coverage gain of monitor reuse is driven entirely by the *path-length
+population* at the observation points: endpoints terminating short paths
+produce sub-``t_min`` fault effects conventional FAST cannot see
+(Sec. III).  This module provides the analyses that make that population
+visible:
+
+* :func:`endpoint_arrival_histogram` — normalized arrival-time histogram
+  over the pseudo-primary outputs,
+* :func:`k_longest_paths` / :func:`k_shortest_paths` — explicit gate-level
+  paths to an endpoint, by exhaustive best-first enumeration,
+* :func:`short_path_fraction` — share of endpoints whose worst arrival is
+  below a threshold (e.g. ``t_min``), the single number that predicts
+  whether monitors will pay off on a design.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.netlist.circuit import Circuit, GateKind
+from repro.timing.sta import StaResult
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """One structural path: source … endpoint with its worst-case length."""
+
+    gates: tuple[int, ...]
+    length: float
+
+    def describe(self, circuit: Circuit) -> str:
+        names = " -> ".join(circuit.gates[g].name for g in self.gates)
+        return f"{names}  ({self.length:.1f} ps)"
+
+
+def endpoint_arrival_histogram(circuit: Circuit, sta: StaResult,
+                               *, bins: int = 10,
+                               pseudo_only: bool = True
+                               ) -> list[tuple[float, float, int]]:
+    """Histogram of endpoint worst arrivals as (lo, hi, count) bins.
+
+    Bin edges span [0, critical path]; counts are over observation points
+    (PPOs only by default, matching the monitor insertion population).
+    """
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    arrivals = [sta.arrival_max[op.gate]
+                for op in circuit.observation_points()
+                if op.is_pseudo or not pseudo_only]
+    top = max(sta.critical_path, 1e-9)
+    width = top / bins
+    counts = [0] * bins
+    for a in arrivals:
+        idx = min(bins - 1, int(a / width))
+        counts[idx] += 1
+    return [(i * width, (i + 1) * width, counts[i]) for i in range(bins)]
+
+
+def short_path_fraction(circuit: Circuit, sta: StaResult,
+                        threshold: float) -> float:
+    """Fraction of PPOs whose worst arrival is below ``threshold``.
+
+    With ``threshold = t_min = t_nom/3`` this is the population whose
+    faults are *entirely* invisible to conventional FAST — the paper's
+    monitor-recoverable class.
+    """
+    ppos = [op for op in circuit.observation_points() if op.is_pseudo]
+    if not ppos:
+        return 0.0
+    short = sum(1 for op in ppos if sta.arrival_max[op.gate] < threshold)
+    return short / len(ppos)
+
+
+def _path_iter(circuit: Circuit, endpoint: int, *,
+               longest: bool) -> Iterator[TimingPath]:
+    """Best-first enumeration of structural paths ending at ``endpoint``.
+
+    Expands partial paths backwards from the endpoint; the priority is the
+    accumulated suffix delay plus (for the longest mode) the best possible
+    remaining arrival, which makes the enumeration ordered and admissible.
+    """
+    sign = -1.0 if longest else 1.0
+
+    # Precompute arrival bounds once (admissible enumeration guides).
+    arr_max: dict[int, float] = {}
+    arr_min: dict[int, float] = {}
+    for idx in circuit.topo_order:
+        g = circuit.gates[idx]
+        if GateKind.is_source(g.kind):
+            arr_max[idx] = arr_min[idx] = 0.0
+            continue
+        maxes, mins = [], []
+        for pin, src in enumerate(g.fanin):
+            rise, fall = g.pin_delays[pin]
+            maxes.append(arr_max[src] + max(rise, fall))
+            mins.append(arr_min[src] + min(rise, fall))
+        arr_max[idx] = max(maxes)
+        arr_min[idx] = min(mins)
+
+    guide = arr_max if longest else arr_min
+    counter = 0
+    heap: list[tuple[float, int, float, tuple[int, ...]]] = []
+    heapq.heappush(heap, (sign * guide[endpoint], counter, 0.0, (endpoint,)))
+    while heap:
+        _prio, _c, suffix, path = heapq.heappop(heap)
+        head = path[0]
+        g = circuit.gates[head]
+        if GateKind.is_source(g.kind):
+            yield TimingPath(gates=path, length=suffix)
+            continue
+        for pin, src in enumerate(g.fanin):
+            rise, fall = g.pin_delays[pin]
+            step = max(rise, fall) if longest else min(rise, fall)
+            new_suffix = suffix + step
+            counter += 1
+            heapq.heappush(heap, (
+                sign * (new_suffix + guide[src]), counter,
+                new_suffix, (src,) + path))
+
+
+def k_longest_paths(circuit: Circuit, endpoint: int, k: int,
+                    *, max_expansions: int = 100_000) -> list[TimingPath]:
+    """The ``k`` longest structural paths ending at ``endpoint``."""
+    return _take(_path_iter(circuit, endpoint, longest=True), k,
+                 max_expansions)
+
+
+def k_shortest_paths(circuit: Circuit, endpoint: int, k: int,
+                     *, max_expansions: int = 100_000) -> list[TimingPath]:
+    """The ``k`` shortest structural paths ending at ``endpoint``."""
+    return _take(_path_iter(circuit, endpoint, longest=False), k,
+                 max_expansions)
+
+
+def _take(it: Iterator[TimingPath], k: int, budget: int) -> list[TimingPath]:
+    out: list[TimingPath] = []
+    for _ in range(budget):
+        try:
+            out.append(next(it))
+        except StopIteration:
+            break
+        if len(out) >= k:
+            break
+    return out

@@ -1,0 +1,63 @@
+"""Process-variation and delay-perturbation models.
+
+The paper sizes its small delay faults as ``δ = 6σ`` where σ is the standard
+deviation of process variation, valued at 20 % of the nominal gate delay
+(Sec. III).  This module provides:
+
+* :func:`fault_size_for_gate` — the per-gate 6σ fault size,
+* :func:`apply_process_variation` — deterministic, seeded Gaussian scaling of
+  every pin delay, used to create distinct process corners of the same
+  netlist for robustness experiments.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.netlist.circuit import Circuit, GateKind
+
+#: σ as a fraction of the nominal gate delay (Sec. III: 20 %).
+SIGMA_FRACTION = 0.2
+
+#: Fault size multiplier (Sec. III: δ = 6σ).
+N_SIGMA = 6.0
+
+
+def nominal_gate_delay(circuit: Circuit, gate: int) -> float:
+    """Nominal delay of a gate: mean of its pin-to-pin rise/fall delays."""
+    g = circuit.gates[gate]
+    if not g.pin_delays:
+        return 0.0
+    total = sum(r + f for r, f in g.pin_delays)
+    return total / (2 * len(g.pin_delays))
+
+
+def fault_size_for_gate(circuit: Circuit, gate: int, *,
+                        sigma_fraction: float = SIGMA_FRACTION,
+                        n_sigma: float = N_SIGMA) -> float:
+    """δ = n_sigma * σ with σ = sigma_fraction * nominal gate delay."""
+    return n_sigma * sigma_fraction * nominal_gate_delay(circuit, gate)
+
+
+def apply_process_variation(circuit: Circuit, *, seed: int,
+                            sigma_fraction: float = SIGMA_FRACTION,
+                            clamp: float = 3.0) -> None:
+    """Perturb every pin delay with seeded Gaussian noise (in place).
+
+    Each rise/fall delay is multiplied by ``max(ε, 1 + N(0, σ))`` with the
+    relative σ given by ``sigma_fraction``; deviations are clamped to
+    ``±clamp`` σ so pathological corners cannot produce negative delays.
+    """
+    rng = random.Random(seed)
+    for g in circuit.gates:
+        if not GateKind.is_combinational(g.kind) or not g.pin_delays:
+            continue
+        new_delays = []
+        for rise, fall in g.pin_delays:
+            dr = max(-clamp, min(clamp, rng.gauss(0.0, 1.0)))
+            df = max(-clamp, min(clamp, rng.gauss(0.0, 1.0)))
+            new_delays.append((
+                max(0.1, rise * (1.0 + sigma_fraction * dr)),
+                max(0.1, fall * (1.0 + sigma_fraction * df)),
+            ))
+        g.pin_delays = tuple(new_delays)

@@ -1,0 +1,5 @@
+"""Shared utilities: interval algebra, deterministic RNG helpers, formatting."""
+
+from repro.utils.intervals import Interval, IntervalSet
+
+__all__ = ["Interval", "IntervalSet"]

@@ -1,0 +1,296 @@
+"""Interval algebra for fault detection ranges.
+
+Detection ranges of small delay faults (Sec. II-A of the paper) are unions of
+disjoint time intervals on the observation-time axis.  This module provides an
+immutable :class:`IntervalSet` with the operations the test flow needs:
+
+* union / intersection / difference,
+* shifting along the time axis (monitor delay elements, Sec. III-B),
+* clipping to the observable FAST window ``(t_min, t_nom)``,
+* pessimistic pulse filtering (glitches shorter than a threshold are dropped,
+  the surviving neighbours are *not* merged, cf. Fig. 1).
+
+All interval endpoints are floats in the circuit's native time unit
+(picoseconds throughout this code base).  Intervals are treated as closed
+``[lo, hi]`` with a configurable comparison tolerance ``EPS``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+#: Absolute tolerance used when comparing interval endpoints (picoseconds).
+EPS = 1e-9
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed time interval ``[lo, hi]`` with ``lo <= hi``."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("interval endpoints must not be NaN")
+        if self.hi < self.lo - EPS:
+            raise ValueError(f"empty interval: [{self.lo}, {self.hi}]")
+
+    @property
+    def length(self) -> float:
+        """Width of the interval (0 for a degenerate point interval)."""
+        return max(0.0, self.hi - self.lo)
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+    def contains(self, t: float, *, tol: float = EPS) -> bool:
+        """Return True if time ``t`` lies inside the interval (within tol)."""
+        return self.lo - tol <= t <= self.hi + tol
+
+    def overlaps(self, other: "Interval", *, tol: float = EPS) -> bool:
+        """Return True if the two intervals intersect (within tol)."""
+        return self.lo <= other.hi + tol and other.lo <= self.hi + tol
+
+    def shifted(self, d: float) -> "Interval":
+        """Interval translated by ``d`` time units (monitor delay shift)."""
+        return Interval(self.lo + d, self.hi + d)
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Intersection with ``other``, or None when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if hi < lo - EPS:
+            return None
+        return Interval(lo, min(hi, max(lo, hi)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+class IntervalSet:
+    """An immutable union of disjoint, sorted closed intervals.
+
+    The constructor normalises its input: overlapping or touching intervals
+    (within ``EPS``) are merged and zero-length fragments below ``EPS`` are
+    kept as degenerate points only if explicitly allowed via ``keep_points``.
+    """
+
+    __slots__ = ("_ivals",)
+
+    def __init__(self, intervals: Iterable[Interval | tuple[float, float]] = (),
+                 *, keep_points: bool = False) -> None:
+        items: list[Interval] = []
+        for iv in intervals:
+            if not isinstance(iv, Interval):
+                iv = Interval(float(iv[0]), float(iv[1]))
+            if iv.length <= EPS and not keep_points:
+                continue
+            items.append(iv)
+        items.sort()
+        merged: list[Interval] = []
+        for iv in items:
+            if merged and iv.lo <= merged[-1].hi + EPS:
+                last = merged.pop()
+                merged.append(Interval(last.lo, max(last.hi, iv.hi)))
+            else:
+                merged.append(iv)
+        object.__setattr__(self, "_ivals", tuple(merged))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return _EMPTY
+
+    @classmethod
+    def single(cls, lo: float, hi: float) -> "IntervalSet":
+        return cls([Interval(lo, hi)])
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[float, float]]) -> "IntervalSet":
+        return cls(Interval(a, b) for a, b in pairs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        return self._ivals
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._ivals
+
+    @property
+    def measure(self) -> float:
+        """Total length of all intervals."""
+        return sum(iv.length for iv in self._ivals)
+
+    @property
+    def span(self) -> Interval | None:
+        """Smallest interval containing the whole set, or None if empty."""
+        if not self._ivals:
+            return None
+        return Interval(self._ivals[0].lo, self._ivals[-1].hi)
+
+    def boundaries(self) -> list[float]:
+        """All interval endpoints in ascending order (with duplicates kept)."""
+        out: list[float] = []
+        for iv in self._ivals:
+            out.append(iv.lo)
+            out.append(iv.hi)
+        return out
+
+    def contains(self, t: float, *, tol: float = EPS) -> bool:
+        """Membership test for a single observation time."""
+        # Binary search over the sorted disjoint intervals.
+        lo, hi = 0, len(self._ivals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            iv = self._ivals[mid]
+            if t < iv.lo - tol:
+                hi = mid - 1
+            elif t > iv.hi + tol:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivals)
+
+    def __len__(self) -> int:
+        return len(self._ivals)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        if len(self._ivals) != len(other._ivals):
+            return False
+        return all(
+            abs(a.lo - b.lo) <= EPS and abs(a.hi - b.hi) <= EPS
+            for a, b in zip(self._ivals, other._ivals)
+        )
+
+    def __hash__(self) -> int:
+        return hash(tuple((round(iv.lo, 6), round(iv.hi, 6)) for iv in self._ivals))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = " ∪ ".join(repr(iv) for iv in self._ivals) or "∅"
+        return f"IntervalSet({inner})"
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return IntervalSet([*self._ivals, *other._ivals])
+
+    __or__ = union
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        out: list[Interval] = []
+        i = j = 0
+        a, b = self._ivals, other._ivals
+        while i < len(a) and j < len(b):
+            iv = a[i].intersect(b[j])
+            if iv is not None and iv.length > EPS:
+                out.append(iv)
+            if a[i].hi < b[j].hi:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(out)
+
+    __and__ = intersection
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Set difference ``self \\ other``."""
+        out: list[Interval] = []
+        for iv in self._ivals:
+            pieces = [iv]
+            for cut in other._ivals:
+                if cut.lo > iv.hi:
+                    break
+                next_pieces: list[Interval] = []
+                for p in pieces:
+                    if not p.overlaps(cut):
+                        next_pieces.append(p)
+                        continue
+                    if cut.lo - p.lo > EPS:
+                        next_pieces.append(Interval(p.lo, cut.lo))
+                    if p.hi - cut.hi > EPS:
+                        next_pieces.append(Interval(cut.hi, p.hi))
+                pieces = next_pieces
+            out.extend(pieces)
+        return IntervalSet(out)
+
+    __sub__ = difference
+
+    # ------------------------------------------------------------------
+    # FAST-specific transformations
+    # ------------------------------------------------------------------
+    def shifted(self, d: float) -> "IntervalSet":
+        """Translate every interval by ``d`` (Sec. III-B, ``I_SR = I_FF + d``)."""
+        if d == 0.0 or self.is_empty:
+            return self
+        return IntervalSet(iv.shifted(d) for iv in self._ivals)
+
+    def clipped(self, lo: float, hi: float) -> "IntervalSet":
+        """Restrict the set to the observable window ``[lo, hi]``."""
+        if hi <= lo:
+            return _EMPTY
+        return self.intersection(IntervalSet.single(lo, hi))
+
+    def filter_glitches(self, threshold: float) -> "IntervalSet":
+        """Drop intervals shorter than ``threshold`` (pessimistic, Fig. 1).
+
+        Intervals separated by a filtered glitch are kept disjoint; no merging
+        across removed pieces happens, matching the paper's pessimism.
+        Because the constructor already merged touching intervals, filtering
+        here can only remove whole intervals.
+        """
+        if threshold <= 0:
+            return self
+        kept = [iv for iv in self._ivals if iv.length + EPS >= threshold]
+        if len(kept) == len(self._ivals):
+            return self
+        return IntervalSet(kept)
+
+    def midpoints(self) -> list[float]:
+        """Midpoint of every interval (robust observation-time candidates)."""
+        return [iv.midpoint for iv in self._ivals]
+
+
+_EMPTY = IntervalSet()
+
+
+def segment_axis(boundaries: Sequence[float], lo: float, hi: float) -> list[Interval]:
+    """Split ``[lo, hi]`` into segments at the given boundary times.
+
+    Used by the observation-time discretization (Sec. IV-A, Fig. 5): the
+    boundaries of all fault detection intervals partition the time axis into
+    segments within which the detected fault set is constant.
+    Boundaries outside ``[lo, hi]`` are ignored; duplicates are collapsed.
+    """
+    if hi <= lo:
+        return []
+    pts = sorted({lo, hi, *(b for b in boundaries if lo < b < hi)})
+    dedup: list[float] = []
+    for p in pts:
+        if not dedup or p - dedup[-1] > EPS:
+            dedup.append(p)
+    if len(dedup) < 2:
+        return [Interval(lo, hi)]
+    return [Interval(a, b) for a, b in zip(dedup, dedup[1:])]

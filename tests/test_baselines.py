@@ -1,0 +1,62 @@
+"""Tests for the Table II baseline schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scheduling.baselines import (
+    conventional_schedule,
+    conventional_targets,
+    heuristic_schedule,
+    proposed_schedule,
+)
+
+
+class TestConventional:
+    def test_targets_exclude_at_speed(self, flow_result_small):
+        cls = flow_result_small.classification
+        targets = conventional_targets(cls)
+        assert not targets & cls.at_speed
+        assert targets <= cls.conv_detected
+
+    def test_conv_schedule_full_coverage(self, flow_result_small):
+        conv = flow_result_small.schedules["conv"]
+        assert conv.covered == conv.targets
+
+    def test_greedy_solver_supported(self, flow_result_small):
+        sched = conventional_schedule(
+            flow_result_small.data, flow_result_small.classification,
+            flow_result_small.clock, solver="greedy")
+        assert sched.covered == sched.targets
+
+
+class TestProposedVsHeuristic:
+    def test_same_targets(self, flow_result_small):
+        heur = flow_result_small.schedules["heur"]
+        prop = flow_result_small.schedules["prop"]
+        assert heur.targets == prop.targets
+        assert heur.targets == frozenset(
+            flow_result_small.classification.target)
+
+    def test_ilp_never_more_frequencies(self, flow_result_small):
+        heur = flow_result_small.schedules["heur"]
+        prop = flow_result_small.schedules["prop"]
+        assert prop.num_frequencies <= heur.num_frequencies
+
+    def test_methods_annotated(self, flow_result_small):
+        assert flow_result_small.schedules["prop"].method == "ilp"
+        assert flow_result_small.schedules["heur"].method == "greedy"
+
+    def test_coverage_parameter_passthrough(self, flow_result_small):
+        sched = proposed_schedule(
+            flow_result_small.data, flow_result_small.classification,
+            flow_result_small.clock, flow_result_small.configs,
+            coverage=0.9)
+        assert sched.coverage >= 0.9 - 1e-9
+
+    def test_heuristic_coverage_parameter(self, flow_result_small):
+        sched = heuristic_schedule(
+            flow_result_small.data, flow_result_small.classification,
+            flow_result_small.clock, flow_result_small.configs,
+            coverage=0.9)
+        assert sched.coverage >= 0.9 - 1e-9

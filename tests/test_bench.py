@@ -1,0 +1,136 @@
+"""Tests for the ISCAS'89 .bench reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.bench import BenchParseError, load_bench, parse_bench, save_bench, write_bench
+from repro.netlist.circuit import GateKind
+
+
+class TestParse:
+    def test_s27_shape(self, s27):
+        assert s27.num_gates == 10
+        assert s27.num_ffs == 3
+        assert len(s27.inputs) == 4
+        assert len(s27.outputs) == 1
+
+    def test_c17_shape(self, c17):
+        assert c17.num_gates == 6
+        assert c17.num_ffs == 0
+        assert all(g.kind in (GateKind.NAND, GateKind.INPUT)
+                   for g in c17.gates)
+
+    def test_comments_and_blank_lines(self):
+        c = parse_bench("""
+        # header comment
+        INPUT(a)   # trailing comment
+
+        OUTPUT(y)
+        y = NOT(a)
+        """)
+        assert c.num_gates == 1
+
+    def test_case_insensitive_decls(self):
+        c = parse_bench("input(a)\noutput(y)\ny = BUF(a)\n")
+        assert len(c.inputs) == 1
+
+    def test_definitions_out_of_order(self):
+        c = parse_bench("""
+        INPUT(a)
+        OUTPUT(y)
+        y = AND(w, a)
+        w = NOT(a)
+        """)
+        assert c.num_gates == 2
+
+    def test_alias_functions(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(y)\nw = INV(a)\ny = BUFF(w)\n")
+        assert c.gate_by_name("w").kind == GateKind.NOT
+        assert c.gate_by_name("y").kind == GateKind.BUF
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(BenchParseError, match="unknown function"):
+            parse_bench("INPUT(a)\ny = MAJ(a)\n")
+
+    def test_undefined_signal_raises(self):
+        with pytest.raises(BenchParseError, match="undefined"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+    def test_redefinition_raises(self):
+        with pytest.raises(BenchParseError, match="redefined"):
+            parse_bench("INPUT(a)\ny = NOT(a)\ny = BUF(a)\n")
+
+    def test_input_with_definition_raises(self):
+        with pytest.raises(BenchParseError, match="also has"):
+            parse_bench("INPUT(a)\na = NOT(a)\n")
+
+    def test_undefined_output_raises(self):
+        with pytest.raises(BenchParseError, match="OUTPUT"):
+            parse_bench("INPUT(a)\nOUTPUT(nope)\ny = NOT(a)\n")
+
+    def test_combinational_cycle_raises(self):
+        with pytest.raises(BenchParseError, match="cycle"):
+            parse_bench("INPUT(a)\nx = AND(a, y)\ny = NOT(x)\n")
+
+    def test_sequential_feedback_ok(self):
+        c = parse_bench("""
+        INPUT(a)
+        OUTPUT(q)
+        q = DFF(d)
+        d = XOR(a, q)
+        """)
+        assert c.num_ffs == 1
+
+    def test_dff_with_two_inputs_raises(self):
+        with pytest.raises(BenchParseError, match="exactly one"):
+            parse_bench("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n")
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(BenchParseError, match="cannot parse"):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+
+class TestRoundTrip:
+    def test_write_parse_identity(self, s27):
+        text = write_bench(s27)
+        again = parse_bench(text, name="s27rt")
+        assert again.num_gates == s27.num_gates
+        assert again.num_ffs == s27.num_ffs
+        assert len(again.outputs) == len(s27.outputs)
+        # Same connectivity by name.
+        for g in s27.gates:
+            g2 = again.gate_by_name(g.name)
+            assert g2.kind == g.kind
+            assert tuple(again.gates[s].name for s in g2.fanin) == \
+                tuple(s27.gates[s].name for s in g.fanin)
+
+    def test_save_load(self, tmp_path, c17):
+        path = tmp_path / "c17.bench"
+        save_bench(c17, path)
+        again = load_bench(path)
+        assert again.name == "c17"
+        assert again.num_gates == c17.num_gates
+
+    def test_used_constants_rejected(self):
+        from repro.netlist.circuit import Circuit, GateKind
+        c = Circuit("consty")
+        one = c.add_const("one", 1)
+        a = c.add_input("a")
+        g = c.add_gate("g", GateKind.AND, [a, one])
+        c.mark_output(g)
+        c.finalize()
+        with pytest.raises(ValueError, match="cannot express constant"):
+            write_bench(c)
+
+    def test_dangling_constants_dropped(self):
+        from repro.netlist.circuit import Circuit, GateKind
+        c = Circuit("consty2")
+        c.add_const("one", 1)
+        a = c.add_input("a")
+        g = c.add_gate("g", GateKind.NOT, [a])
+        c.mark_output(g)
+        c.finalize()
+        text = write_bench(c)
+        assert "one" not in text
+        assert parse_bench(text).num_gates == 1

@@ -1,0 +1,70 @@
+"""Tests for the standard-cell library model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.cells import CellLibrary, CellSpec, nangate45_like
+
+
+class TestCellSpec:
+    def test_pin_delay_spread(self):
+        spec = CellSpec("NAND2_X1", "NAND", 2, base_rise=14, base_fall=11,
+                        pin_spread=0.15)
+        r0, f0 = spec.pin_delay(0, fanout=1)
+        r1, f1 = spec.pin_delay(1, fanout=1)
+        assert r1 > r0 and f1 > f0  # later pins are slower
+
+    def test_pin_delay_load(self):
+        spec = CellSpec("INV_X1", "NOT", 1, base_rise=10, base_fall=8)
+        light = spec.pin_delay(0, fanout=1)
+        heavy = spec.pin_delay(0, fanout=5)
+        assert heavy[0] > light[0] and heavy[1] > light[1]
+
+    def test_zero_fanout_clamped(self):
+        spec = CellSpec("INV_X1", "NOT", 1, base_rise=10, base_fall=8)
+        assert spec.pin_delay(0, fanout=0) == spec.pin_delay(0, fanout=1)
+
+    def test_negative_pin_raises(self):
+        spec = CellSpec("INV_X1", "NOT", 1, base_rise=10, base_fall=8)
+        with pytest.raises(ValueError):
+            spec.pin_delay(-1, fanout=1)
+
+
+class TestLibrary:
+    def test_default_library_kinds(self):
+        lib = nangate45_like()
+        assert lib.kinds() == {"NOT", "BUF", "NAND", "NOR", "AND", "OR",
+                               "XOR", "XNOR"}
+
+    def test_choose_smallest_sufficient(self):
+        lib = nangate45_like()
+        assert lib.choose("NAND", 2).name == "NAND2_X1"
+        assert lib.choose("NAND", 3).name == "NAND3_X1"
+
+    def test_choose_missing_raises(self):
+        lib = nangate45_like()
+        with pytest.raises(KeyError):
+            lib.choose("NAND", 9)
+        with pytest.raises(KeyError):
+            lib.choose("MUX", 2)
+
+    def test_duplicate_add_raises(self):
+        lib = CellLibrary("x")
+        spec = CellSpec("INV_X1", "NOT", 1, 10, 8)
+        lib.add(spec)
+        with pytest.raises(ValueError):
+            lib.add(spec)
+
+    def test_inverter_is_fastest(self):
+        lib = nangate45_like()
+        inv = lib.choose("NOT", 1)
+        for cell in lib.cells.values():
+            if cell.name != inv.name:
+                assert cell.base_rise >= inv.base_rise
+
+    def test_xor_slowest_two_input(self):
+        lib = nangate45_like()
+        xor = lib.choose("XOR", 2)
+        for kind in ("NAND", "NOR", "AND", "OR"):
+            assert lib.choose(kind, 2).base_rise < xor.base_rise

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_flow_defaults(self):
+        args = build_parser().parse_args(["flow", "s27"])
+        assert args.fast_ratio == 3.0
+        assert args.monitor_fraction == 0.25
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_flow_on_embedded(self, capsys):
+        rc = main(["flow", "s27", "--show-schedule"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HDF coverage" in out
+        assert "Schedule optimization" in out
+        assert "pattern #" in out
+
+    def test_flow_on_bench_file(self, tmp_path, capsys, s27):
+        from repro.netlist.bench import save_bench
+        path = tmp_path / "mine.bench"
+        save_bench(s27, path)
+        assert main(["flow", str(path), "--pattern-cap", "6"]) == 0
+        assert "HDF coverage" in capsys.readouterr().out
+
+    def test_flow_unknown_circuit(self):
+        with pytest.raises(SystemExit, match="cannot resolve"):
+            main(["flow", "not_a_circuit"])
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "s27", "--pattern-cap", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "conv_%" in out
+
+    def test_aging(self, capsys):
+        assert main(["aging", "s27", "--marginal", "1", "--steps", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "prediction:" in out
+        assert "cpl=" in out
+
+    def test_generate_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "gen.bench"
+        assert main(["generate", str(out_file), "--gates", "40",
+                     "--ffs", "8", "--depth", "6"]) == 0
+        assert out_file.exists()
+        from repro.netlist.bench import load_bench
+        c = load_bench(out_file)
+        assert c.num_ffs == 8
+
+    def test_flow_export(self, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        rc = main(["flow", "s27", "--export", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert out.with_suffix(".fast").exists()
+        from repro.scheduling.export import load_schedule
+        sched = load_schedule(out)
+        assert sched.num_frequencies >= 1
+
+    def test_tables_small_subset(self, capsys):
+        assert main(["tables", "--suite", "s9234", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+        assert "Table III" not in out
+
+    def test_tables_with_coverage_sweep(self, capsys):
+        assert main(["tables", "--suite", "s9234", "--scale", "0.3",
+                     "--table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "F_99" in out

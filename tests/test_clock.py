@@ -1,0 +1,52 @@
+"""Tests for clocking helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.timing.clock import ClockSpec, application_time
+
+
+class TestClockSpec:
+    def test_window(self):
+        clk = ClockSpec(t_nom=300.0, fast_ratio=3.0)
+        assert clk.t_min == pytest.approx(100.0)
+        assert clk.f_nom == pytest.approx(1 / 300.0)
+        assert clk.f_max == pytest.approx(3 / 300.0)
+
+    def test_in_window(self):
+        clk = ClockSpec(t_nom=300.0)
+        assert clk.in_window(150.0)
+        assert clk.in_window(100.0) and clk.in_window(300.0)
+        assert not clk.in_window(99.0)
+        assert not clk.in_window(301.0)
+
+    def test_frequency_of(self):
+        assert ClockSpec(100.0).frequency_of(50.0) == pytest.approx(0.02)
+
+    def test_with_ratio(self):
+        clk = ClockSpec(300.0, 3.0).with_ratio(2.0)
+        assert clk.t_min == pytest.approx(150.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockSpec(0.0)
+        with pytest.raises(ValueError):
+            ClockSpec(100.0, fast_ratio=0.5)
+
+
+class TestApplicationTime:
+    def test_frequencies_dominate(self):
+        few_freqs = application_time(2, 500)
+        many_freqs = application_time(10, 500)
+        assert many_freqs - few_freqs == pytest.approx(8 * 2000.0)
+
+    def test_zero(self):
+        assert application_time(0, 0) == 0.0
+
+    def test_custom_relock(self):
+        assert application_time(3, 10, relock_cost=100.0) == 310.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            application_time(-1, 0)

@@ -1,0 +1,99 @@
+"""Tests for the D-algorithm and the PODEM cross-check."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.atpg.dalg import DAlgorithm, cross_check_testability
+from repro.faults.models import FaultSite, StuckAtFault
+from repro.faults.universe import fault_sites
+from repro.netlist.bench import parse_bench
+from repro.simulation.parallel_sim import BitParallelSimulator
+
+
+def verify(circuit, fault, assignment, seed=0) -> bool:
+    rng = random.Random(seed)
+    srcs = circuit.sources()
+    vec = tuple(assignment.get(s, rng.randint(0, 1)) for s in srcs)
+    sim = BitParallelSimulator(circuit)
+    words, width = sim.pack_vectors([vec])
+    good = sim.simulate(words, width)
+    return sim.stuck_at_detect_mask(good, fault, width) == 1
+
+
+def output_faults(circuit):
+    return [StuckAtFault(s, v) for s in fault_sites(circuit)
+            if s.is_output_pin for v in (0, 1)]
+
+
+class TestDalg:
+    def test_all_c17_output_faults_found_and_valid(self, c17):
+        dalg = DAlgorithm(c17, seed=1)
+        for fault in output_faults(c17):
+            assignment = dalg.generate(fault)
+            assert assignment is not None, fault.describe(c17)
+            assert verify(c17, fault, assignment), fault.describe(c17)
+
+    def test_s27_tests_simulation_valid(self, s27):
+        dalg = DAlgorithm(s27, seed=1)
+        found = 0
+        for fault in output_faults(s27):
+            assignment = dalg.generate(fault)
+            if assignment is None:
+                continue
+            found += 1
+            assert verify(s27, fault, assignment), fault.describe(s27)
+        assert found >= 15  # s27 has 20 output-pin stuck-at faults
+
+    def test_untestable_constant_output(self):
+        c = parse_bench("""
+        INPUT(a)
+        OUTPUT(y)
+        n = NOT(a)
+        y = OR(a, n)
+        """, name="const")
+        dalg = DAlgorithm(c, seed=0)
+        fault = StuckAtFault(FaultSite(c.index_of("y")), 1)
+        assert dalg.generate(fault) is None
+        assert not dalg.stats.aborted
+
+    def test_input_pin_fault_rejected(self, c17):
+        dalg = DAlgorithm(c17, seed=0)
+        with pytest.raises(ValueError, match="output-pin"):
+            dalg.generate(StuckAtFault(FaultSite(c17.index_of("N22"), 0), 0))
+
+    def test_stats_populated(self, c17):
+        dalg = DAlgorithm(c17, seed=0)
+        dalg.generate(StuckAtFault(FaultSite(c17.index_of("N22")), 0))
+        assert dalg.stats.decisions > 0
+
+    def test_deterministic(self, s27):
+        a = DAlgorithm(s27, seed=5)
+        b = DAlgorithm(s27, seed=5)
+        fault = output_faults(s27)[3]
+        assert a.generate(fault) == b.generate(fault)
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("name", ["c17", "s27"])
+    def test_embedded_circuits_fully_agree(self, name, c17, s27):
+        circuit = {"c17": c17, "s27": s27}[name]
+        result = cross_check_testability(circuit, output_faults(circuit))
+        assert result["podem_miss"] == 0
+        assert result["dalg_miss"] == 0
+        assert result["agree"] > 0
+
+    @pytest.mark.parametrize("seed", [0, 1, 3, 5])
+    def test_generated_circuits_podem_never_misses(self, seed):
+        """The hard property: PODEM (the flow's engine) must never prove a
+        D-alg-testable fault untestable.  D-alg misses are tolerated (its
+        J-frontier is deliberately simplified) but must stay rare."""
+        from repro.circuits.generators import CircuitProfile, generate_circuit
+        circuit = generate_circuit(CircuitProfile(
+            name=f"cc{seed}", n_gates=40, n_ffs=8, n_inputs=6, n_outputs=3,
+            depth=6, seed=seed, long_edge_prob=0.5))
+        result = cross_check_testability(circuit, output_faults(circuit))
+        assert result["podem_miss"] == 0, result
+        assert result["dalg_miss"] <= max(3, result["agree"] // 20), result

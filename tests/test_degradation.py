@@ -1,0 +1,118 @@
+"""Tests for the aging degradation models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aging.degradation import AgingScenario, BtiModel, EmModel, HciModel, aged_copy
+
+
+class TestBti:
+    def test_monotone_in_time(self):
+        m = BtiModel()
+        values = [m.delta_fraction(t) for t in (0.5, 1, 2, 5, 10)]
+        assert values == sorted(values)
+
+    def test_zero_at_start(self):
+        assert BtiModel().delta_fraction(0.0) == 0.0
+        assert BtiModel().delta_fraction(-1.0) == 0.0
+
+    def test_stress_scales(self):
+        m = BtiModel()
+        assert m.delta_fraction(4.0, stress=2.0) > m.delta_fraction(4.0, 1.0)
+
+    def test_power_law_exponent(self):
+        m = BtiModel(amplitude=1.0, exponent=0.5)
+        assert m.delta_fraction(4.0) == pytest.approx(2.0)
+
+
+class TestHci:
+    def test_activity_zero_no_degradation(self):
+        assert HciModel().delta_fraction(10.0, activity=0.0) == 0.0
+
+    def test_monotone(self):
+        m = HciModel()
+        assert m.delta_fraction(9.0) > m.delta_fraction(1.0)
+
+
+class TestEm:
+    def test_silent_before_onset(self):
+        m = EmModel(rate=0.01, onset=5.0)
+        assert m.delta_fraction(4.9) == 0.0
+        assert m.delta_fraction(6.0) > 0.0
+
+    def test_linear_after_onset(self):
+        m = EmModel(rate=0.01, onset=5.0)
+        assert m.delta_fraction(7.0) == pytest.approx(0.02)
+
+
+class TestScenario:
+    def test_deterministic_per_seed(self):
+        a = AgingScenario(seed=3)
+        b = AgingScenario(seed=3)
+        assert a.delay_factor(17, 5.0) == b.delay_factor(17, 5.0)
+
+    def test_seeds_differ(self):
+        a = AgingScenario(seed=1)
+        b = AgingScenario(seed=2)
+        factors_a = [a.delay_factor(g, 5.0) for g in range(20)]
+        factors_b = [b.delay_factor(g, 5.0) for g in range(20)]
+        assert factors_a != factors_b
+
+    def test_factor_at_least_one(self):
+        s = AgingScenario(seed=0)
+        for g in range(30):
+            for t in (0.0, 1.0, 10.0):
+                assert s.delay_factor(g, t) >= 1.0
+
+    def test_monotone_over_lifetime(self):
+        s = AgingScenario(seed=5)
+        for g in range(10):
+            f = [s.delay_factor(g, t) for t in (0.5, 1, 2, 4, 8)]
+            assert f == sorted(f)
+
+    def test_delay_factors_cover_all_gates(self, s27):
+        s = AgingScenario(seed=1)
+        factors = s.delay_factors(s27, 5.0)
+        assert set(factors) == set(s27.combinational_gates())
+
+
+class TestScenarioSpread:
+    def test_zero_spread_uniform_factors(self):
+        s = AgingScenario(seed=0, stress_spread=0.0)
+        factors = {s.delay_factor(g, 5.0) for g in range(10)}
+        assert len(factors) == 1
+
+    def test_factor_cache_consistent(self):
+        s = AgingScenario(seed=7)
+        first = s.delay_factor(3, 2.0)
+        second = s.delay_factor(3, 2.0)
+        assert first == second
+
+    def test_spread_widens_factor_range(self):
+        narrow = AgingScenario(seed=1, stress_spread=0.1)
+        wide = AgingScenario(seed=1, stress_spread=0.9)
+        def spread(s):
+            vals = [s.delay_factor(g, 5.0) for g in range(40)]
+            return max(vals) - min(vals)
+        assert spread(wide) > spread(narrow)
+
+
+class TestAgedCopy:
+    def test_original_untouched(self, s27):
+        before = {g.index: g.pin_delays for g in s27.gates}
+        aged = aged_copy(s27, AgingScenario(seed=1), 10.0, name_suffix="@10y")
+        assert aged.name == "s27@10y"
+        for g in s27.gates:
+            assert g.pin_delays == before[g.index]
+
+    def test_aged_delays_grow(self, s27):
+        aged = aged_copy(s27, AgingScenario(seed=1), 10.0)
+        for g_old, g_new in zip(s27.gates, aged.gates):
+            for (r0, f0), (r1, f1) in zip(g_old.pin_delays, g_new.pin_delays):
+                assert r1 >= r0 and f1 >= f0
+
+    def test_critical_path_grows(self, s27):
+        from repro.timing.sta import run_sta
+        aged = aged_copy(s27, AgingScenario(seed=1), 10.0)
+        assert run_sta(aged).critical_path > run_sta(s27).critical_path

@@ -1,0 +1,123 @@
+"""Tests for failing-signature diagnosis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnosis.ranking import diagnose, predicts_failure, resolution
+from repro.diagnosis.signature import FailingSignature, Observation, collect_signature
+
+
+class TestSignature:
+    def test_collect_orders_observations(self, flow_result_small):
+        fi = sorted(flow_result_small.classification.target)[0]
+        fault = flow_result_small.data.faults[fi]
+        sig = collect_signature(flow_result_small, fault)
+        assert len(sig) == flow_result_small.schedules["prop"].num_entries
+        assert sig.observations == sorted(sig.observations)
+
+    def test_target_fault_produces_failures(self, flow_result_small):
+        """A target fault fails at least one application of the schedule
+        that was built to cover it."""
+        for fi in sorted(flow_result_small.classification.target)[:5]:
+            fault = flow_result_small.data.faults[fi]
+            sig = collect_signature(flow_result_small, fault)
+            assert sig.has_failures, fi
+
+    def test_fault_free_device_passes_everything(self, flow_result_small):
+        from repro.faults.models import FaultSite, SmallDelayFault
+        # A zero-effect fault: delta below the inertial threshold on a
+        # non-activated polarity still counts as "no fault" in practice —
+        # use an sub-resolution delta instead.
+        ghost = SmallDelayFault(FaultSite(
+            flow_result_small.circuit.combinational_gates()[0]), True, 1e-9)
+        sig = collect_signature(flow_result_small, ghost)
+        assert not sig.has_failures
+
+    def test_partition_properties(self):
+        sig = FailingSignature([
+            Observation(1.0, 0, 0, True),
+            Observation(2.0, 1, 0, False),
+        ])
+        assert len(sig.failing) == 1
+        assert len(sig.passing) == 1
+
+
+class TestDiagnosis:
+    @pytest.fixture(scope="class")
+    def ranked_for(self, flow_result_small):
+        def _run(fault_idx):
+            fault = flow_result_small.data.faults[fault_idx]
+            sig = collect_signature(flow_result_small, fault)
+            return diagnose(flow_result_small.data,
+                            flow_result_small.configs, sig,
+                            max_results=20)
+        return _run
+
+    def test_true_fault_ranked(self, flow_result_small, ranked_for):
+        """The injected fault appears in the candidate list, usually at or
+        near the top (equivalent faults can tie)."""
+        hits = []
+        for fi in sorted(flow_result_small.classification.target)[:8]:
+            ranked = ranked_for(fi)
+            rank = resolution(ranked, fi)
+            hits.append(rank)
+        found = [r for r in hits if r is not None]
+        assert len(found) >= len(hits) // 2
+        assert min(found) <= 3
+
+    def test_top_candidate_explains_all_failures(self, flow_result_small,
+                                                 ranked_for):
+        fi = sorted(flow_result_small.classification.target)[0]
+        ranked = ranked_for(fi)
+        assert ranked
+        assert ranked[0].explains_all_failures or ranked[0].missed <= 1
+
+    def test_no_failures_no_candidates(self, flow_result_small):
+        entries = flow_result_small.schedules["prop"].entries
+        sig = FailingSignature([
+            Observation(e.period, e.pattern, e.config, False)
+            for e in entries])
+        assert diagnose(flow_result_small.data, flow_result_small.configs,
+                        sig) == []
+
+    def test_candidate_restriction(self, flow_result_small, ranked_for):
+        fi = sorted(flow_result_small.classification.target)[0]
+        fault = flow_result_small.data.faults[fi]
+        sig = collect_signature(flow_result_small, fault)
+        ranked = diagnose(flow_result_small.data, flow_result_small.configs,
+                          sig, candidates=[fi])
+        assert len(ranked) == 1
+        assert ranked[0].fault_index == fi
+
+    def test_max_results_honored(self, flow_result_small, ranked_for):
+        fi = sorted(flow_result_small.classification.target)[0]
+        fault = flow_result_small.data.faults[fi]
+        sig = collect_signature(flow_result_small, fault)
+        ranked = diagnose(flow_result_small.data, flow_result_small.configs,
+                          sig, max_results=3)
+        assert len(ranked) <= 3
+
+    def test_scores_sorted_descending(self, ranked_for, flow_result_small):
+        fi = sorted(flow_result_small.classification.target)[0]
+        ranked = ranked_for(fi)
+        scores = [c.score for c in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestPrediction:
+    def test_predicts_failure_matches_ranges(self, flow_result_small):
+        data = flow_result_small.data
+        configs = flow_result_small.configs
+        fi = sorted(data.ranges)[0]
+        pi, fpr = data.pairs_for_fault(fi)[0]
+        if not fpr.i_all.is_empty:
+            t = fpr.i_all.intervals[0].midpoint
+            assert predicts_failure(data, fi, t, pi, -1, configs)
+        assert not predicts_failure(data, fi, -1.0, pi, -1, configs)
+
+    def test_unknown_pattern_never_fails(self, flow_result_small):
+        data = flow_result_small.data
+        fi = sorted(data.ranges)[0]
+        assert not predicts_failure(data, fi, 100.0, 10**6, -1,
+                                    flow_result_small.configs)

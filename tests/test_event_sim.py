@@ -1,0 +1,99 @@
+"""Cross-checks between the event-driven and topological simulators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netlist.circuit import Circuit, GateKind
+from repro.simulation.event_sim import EventSimulator
+from repro.simulation.wave_sim import WaveformSimulator
+
+
+def chain(n: int) -> Circuit:
+    c = Circuit(f"chain{n}")
+    prev = c.add_input("a")
+    for i in range(n):
+        prev = c.add_gate(f"g{i}", GateKind.NOT, [prev])
+    c.mark_output(prev)
+    return c.finalize()
+
+
+class TestBasics:
+    def test_requires_finalized(self):
+        c = Circuit("x")
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            EventSimulator(c)
+
+    def test_pattern_length_checked(self, tiny_circuit):
+        with pytest.raises(ValueError):
+            EventSimulator(tiny_circuit).simulate([0], [1])
+
+    def test_chain_matches_wave_sim_exactly(self):
+        c = chain(5)
+        ev = EventSimulator(c).simulate([0], [1])
+        wv = WaveformSimulator(c).simulate([0], [1]).waveforms
+        for i in range(len(c.gates)):
+            assert ev[i] == wv[i], c.gates[i].name
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_final_values_agree_s27(self, s27, seed):
+        rng = random.Random(seed)
+        srcs = s27.sources()
+        v1 = [rng.randint(0, 1) for _ in srcs]
+        v2 = [rng.randint(0, 1) for _ in srcs]
+        ev = EventSimulator(s27).simulate(v1, v2)
+        wv = WaveformSimulator(s27).simulate(v1, v2).waveforms
+        for i, g in enumerate(s27.gates):
+            assert ev[i].initial == wv[i].initial, g.name
+            assert ev[i].final_value == wv[i].final_value, g.name
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_final_values_agree_generated(self, small_generated, seed):
+        rng = random.Random(100 + seed)
+        srcs = small_generated.sources()
+        v1 = [rng.randint(0, 1) for _ in srcs]
+        v2 = [rng.randint(0, 1) for _ in srcs]
+        ev = EventSimulator(small_generated).simulate(v1, v2)
+        wv = WaveformSimulator(small_generated).simulate(v1, v2).waveforms
+        mismatches = [g.name for i, g in enumerate(small_generated.gates)
+                      if ev[i].final_value != wv[i].final_value]
+        assert not mismatches
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_settle_times_close(self, s27, seed):
+        """Both engines implement the same delays, so the time the circuit
+        settles must agree within the inertial threshold."""
+        rng = random.Random(200 + seed)
+        srcs = s27.sources()
+        v1 = [rng.randint(0, 1) for _ in srcs]
+        v2 = [rng.randint(0, 1) for _ in srcs]
+        ev = EventSimulator(s27).simulate(v1, v2)
+        wv = WaveformSimulator(s27).simulate(v1, v2).waveforms
+        t_ev = max(w.last_event_time for w in ev)
+        t_wv = max(w.last_event_time for w in wv)
+        assert t_ev == pytest.approx(t_wv, abs=10.0)
+
+    def test_tree_waveforms_match_exactly(self):
+        """Fanout-free trees have unambiguous attribution: engines must
+        produce identical waveforms."""
+        c = Circuit("tree")
+        ins = [c.add_input(f"i{k}") for k in range(4)]
+        n1 = c.add_gate("n1", GateKind.NAND, ins[:2])
+        n2 = c.add_gate("n2", GateKind.NOR, ins[2:])
+        top = c.add_gate("top", GateKind.AND, [n1, n2])
+        c.mark_output(top)
+        c.finalize()
+        rng = random.Random(7)
+        for _ in range(16):
+            v1 = [rng.randint(0, 1) for _ in range(4)]
+            v2 = [rng.randint(0, 1) for _ in range(4)]
+            ev = EventSimulator(c).simulate(v1, v2)
+            wv = WaveformSimulator(c).simulate(v1, v2).waveforms
+            for i in (n1, n2):
+                assert ev[i] == wv[i]
+            assert ev[top].final_value == wv[top].final_value

@@ -1,0 +1,51 @@
+"""Smoke tests for the example scripts.
+
+The two fast examples run end to end as subprocesses; the heavier ones are
+compile-checked (their logic is covered by the unit/integration suites).
+"""
+
+from __future__ import annotations
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestCompile:
+    @pytest.mark.parametrize("name", sorted(
+        p.name for p in EXAMPLES.glob("*.py")))
+    def test_compiles(self, name):
+        py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+    def test_at_least_five_examples(self):
+        assert len(list(EXAMPLES.glob("*.py"))) >= 5
+
+
+class TestRun:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Proposed schedule" in out
+        assert "frequencies" in out
+
+    def test_netlist_io(self, tmp_path):
+        out = run_example("netlist_io.py", str(tmp_path))
+        assert "Functional equivalence verified" in out
+        assert "Timing equivalence verified" in out
+
+    def test_fast_scheduling_small(self):
+        out = run_example("fast_scheduling.py", "s9234", "0.35")
+        assert "Coverage sweep" in out
+        assert "optimized" in out

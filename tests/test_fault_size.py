@@ -1,0 +1,50 @@
+"""Tests for the fault-size sensitivity sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fault_size import FaultSizePoint, fault_size_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return fault_size_sweep("s9234", n_sigmas=(2.0, 6.0, 12.0), scale=0.4,
+                            pattern_cap=10)
+
+
+class TestSweep:
+    def test_one_point_per_size(self, sweep):
+        assert [p.n_sigma for p in sweep] == [2.0, 6.0, 12.0]
+
+    def test_universe_constant(self, sweep):
+        assert len({p.universe for p in sweep}) == 1
+
+    def test_at_speed_grows_with_fault_size(self, sweep):
+        """Bigger faults exceed more path slacks."""
+        at_speed = [p.at_speed_total for p in sweep]
+        assert at_speed == sorted(at_speed)
+        assert at_speed[-1] > at_speed[0]
+
+    def test_population_conserved(self, sweep):
+        for p in sweep:
+            accounted = (p.at_speed_total + p.targets + p.timing_redundant)
+            # prop includes monitor-at-speed, which sits between at_speed
+            # and targets; the classes must never exceed the universe.
+            assert accounted <= p.universe
+
+    def test_prop_at_least_conv(self, sweep):
+        for p in sweep:
+            assert p.prop_detected >= p.conv_detected
+
+    def test_row_format(self, sweep):
+        row = sweep[0].row()
+        assert row["n_sigma"] == 2.0
+        assert set(row) == {"n_sigma", "universe", "at_speed", "conv",
+                            "prop", "gain_%", "targets", "redundant"}
+
+    def test_gain_edge_cases(self):
+        p = FaultSizePoint(6.0, 10, 0, 0, 0, 0, 0, 0)
+        assert p.gain_percent == 0.0
+        p = FaultSizePoint(6.0, 10, 0, 0, 0, 5, 5, 0)
+        assert p.gain_percent == float("inf")

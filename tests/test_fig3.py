@@ -1,0 +1,76 @@
+"""Tests for the Fig. 3 coverage-vs-f_max experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig3 import DEFAULT_RATIOS, Fig3Point, fig3_series
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def series(self, flow_result_small):
+        return fig3_series(flow_result_small)
+
+    def test_one_point_per_ratio(self, series):
+        assert len(series) == len(DEFAULT_RATIOS)
+
+    def test_ratios_sorted(self, series):
+        ratios = [p.fmax_ratio for p in series]
+        assert ratios == sorted(ratios)
+
+    def test_coverages_in_unit_interval(self, series):
+        for p in series:
+            assert 0.0 <= p.conv_coverage <= 1.0
+            assert 0.0 <= p.prop_coverage <= 1.0
+
+    def test_conv_monotone_nondecreasing(self, series):
+        """Higher f_max widens the window: coverage can only grow."""
+        for a, b in zip(series, series[1:]):
+            assert b.conv_coverage >= a.conv_coverage - 1e-12
+
+    def test_prop_monotone_nondecreasing(self, series):
+        for a, b in zip(series, series[1:]):
+            assert b.prop_coverage >= a.prop_coverage - 1e-12
+
+    def test_prop_dominates_conv(self, series):
+        """Monitors only add observation points (Fig. 3's two curves)."""
+        for p in series:
+            assert p.prop_coverage >= p.conv_coverage - 1e-12
+
+    def test_monitors_add_coverage_somewhere(self, series):
+        assert any(p.prop_coverage > p.conv_coverage + 1e-9 for p in series)
+
+    def test_conv_near_zero_at_nominal(self, series):
+        """At f_max = f_nom the window degenerates to {t_nom}; at-speed
+        faults are excluded from the HDF denominator, so conventional
+        coverage starts at (almost) zero — the left edge of the paper's
+        plot."""
+        assert series[0].conv_coverage <= 0.05
+
+    def test_ratio_beyond_simulated_window_rejected(self, flow_result_small):
+        with pytest.raises(ValueError, match="exceeds"):
+            fig3_series(flow_result_small, ratios=(1.0, 3.5))
+
+    def test_custom_monitor_delay(self, flow_result_small):
+        third = fig3_series(flow_result_small,
+                            monitor_delay_fraction=1.0 / 3.0)
+        tiny = fig3_series(flow_result_small, monitor_delay_fraction=0.01)
+        # A tiny delay element recovers (almost) nothing extra.
+        gain_third = sum(p.prop_coverage - p.conv_coverage for p in third)
+        gain_tiny = sum(p.prop_coverage - p.conv_coverage for p in tiny)
+        assert gain_third >= gain_tiny - 1e-9
+
+    def test_point_type(self, series):
+        assert isinstance(series[0], Fig3Point)
+
+    def test_activated_denominator_raises_coverage(self, flow_result_small,
+                                                   series):
+        activated = fig3_series(flow_result_small, denominator="activated")
+        for pessimistic, optimistic in zip(series, activated):
+            assert optimistic.conv_coverage >= pessimistic.conv_coverage - 1e-12
+            assert optimistic.prop_coverage >= pessimistic.prop_coverage - 1e-12
+
+    def test_unknown_denominator_rejected(self, flow_result_small):
+        with pytest.raises(ValueError, match="unknown denominator"):
+            fig3_series(flow_result_small, denominator="everything")

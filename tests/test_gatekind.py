@@ -1,0 +1,84 @@
+"""Exhaustive tests for GateKind arity rules and small circuit helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.circuit import Circuit, Gate, GateKind, ObservationPoint
+
+
+class TestArityRules:
+    @pytest.mark.parametrize("kind", [GateKind.INPUT, GateKind.CONST0,
+                                      GateKind.CONST1])
+    def test_sources_take_no_inputs(self, kind):
+        GateKind.check_arity(kind, 0)
+        with pytest.raises(ValueError, match="no inputs"):
+            GateKind.check_arity(kind, 1)
+
+    def test_dff_exactly_one(self):
+        GateKind.check_arity(GateKind.DFF, 1)
+        for n in (0, 2):
+            with pytest.raises(ValueError, match="exactly one"):
+                GateKind.check_arity(GateKind.DFF, n)
+
+    @pytest.mark.parametrize("kind", [GateKind.NOT, GateKind.BUF])
+    def test_unary_gates(self, kind):
+        GateKind.check_arity(kind, 1)
+        with pytest.raises(ValueError):
+            GateKind.check_arity(kind, 2)
+
+    @pytest.mark.parametrize("kind", [GateKind.XOR, GateKind.XNOR])
+    def test_parity_gates_need_two(self, kind):
+        GateKind.check_arity(kind, 2)
+        GateKind.check_arity(kind, 3)
+        with pytest.raises(ValueError, match=">=2"):
+            GateKind.check_arity(kind, 1)
+
+    @pytest.mark.parametrize("kind", [GateKind.AND, GateKind.NAND,
+                                      GateKind.OR, GateKind.NOR])
+    def test_simple_gates_need_one(self, kind):
+        GateKind.check_arity(kind, 1)
+        with pytest.raises(ValueError, match=">=1"):
+            GateKind.check_arity(kind, 0)
+
+    def test_membership_sets_partition(self):
+        assert not GateKind.SOURCES & GateKind.COMBINATIONAL
+        assert GateKind.ALL == GateKind.SOURCES | GateKind.COMBINATIONAL
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown gate kind"):
+            GateKind.check_arity("LATCH", 1)
+
+
+class TestSmallHelpers:
+    def test_gate_delay_helpers_on_source(self):
+        g = Gate(index=0, name="x", kind=GateKind.INPUT)
+        assert g.max_delay() == 0.0
+        assert g.min_delay() == 0.0
+        assert g.arity == 0
+
+    def test_observation_point_ordering(self):
+        a = ObservationPoint(kind="po", gate=1, name="po:x")
+        b = ObservationPoint(kind="ppo", gate=0, name="ppo:y", sink=5)
+        assert sorted([b, a]) == [a, b]
+        assert b.is_pseudo and not a.is_pseudo
+
+    def test_iter_gates(self, tiny_circuit):
+        names = [g.name for g in tiny_circuit.iter_gates()]
+        assert len(names) == len(tiny_circuit.gates)
+        assert names[0] == "A"
+
+    def test_const_values(self):
+        c = Circuit("k")
+        zero = c.add_const("zero", 0)
+        one = c.add_const("one", 1)
+        assert c.gates[zero].kind == GateKind.CONST0
+        assert c.gates[one].kind == GateKind.CONST1
+
+    def test_has_gate_and_index_of(self, tiny_circuit):
+        assert tiny_circuit.has_gate("G1")
+        assert not tiny_circuit.has_gate("nope")
+        idx = tiny_circuit.index_of("G1")
+        assert tiny_circuit.gates[idx].name == "G1"
+        with pytest.raises(KeyError):
+            tiny_circuit.index_of("nope")

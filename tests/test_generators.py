@@ -1,0 +1,90 @@
+"""Tests for the synthetic circuit generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.generators import CircuitProfile, generate_circuit
+from repro.netlist.validate import validate_circuit
+
+
+def profile(**overrides):
+    base = dict(name="t", n_gates=80, n_ffs=16, n_inputs=10, n_outputs=6,
+                depth=8, seed=3)
+    base.update(overrides)
+    return CircuitProfile(**base)
+
+
+class TestProfileValidation:
+    def test_too_few_gates(self):
+        with pytest.raises(ValueError):
+            CircuitProfile(name="x", n_gates=3, n_ffs=2, depth=8)
+
+    def test_too_few_inputs(self):
+        with pytest.raises(ValueError):
+            profile(n_inputs=1)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            profile(short_path_ppo_fraction=1.5)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_circuit(profile())
+        b = generate_circuit(profile())
+        assert [g.name for g in a.gates] == [g.name for g in b.gates]
+        assert [g.fanin for g in a.gates] == [g.fanin for g in b.gates]
+
+    def test_seed_changes_structure(self):
+        a = generate_circuit(profile(seed=1))
+        b = generate_circuit(profile(seed=2))
+        assert [g.fanin for g in a.gates] != [g.fanin for g in b.gates]
+
+    def test_requested_counts(self):
+        c = generate_circuit(profile())
+        assert c.num_ffs == 16
+        assert len(c.inputs) == 10
+        assert len(c.outputs) == 6
+        # Endpoint/side gates add to the core budget.
+        assert c.num_gates >= 80
+
+    def test_validates_clean(self):
+        c = generate_circuit(profile())
+        report = validate_circuit(c)
+        assert report.ok, report.errors
+
+    def test_depth_at_least_profile_depth(self):
+        c = generate_circuit(profile(depth=10, n_gates=120))
+        assert c.depth >= 10
+
+    def test_side_gates_exclusive_to_one_ff(self):
+        c = generate_circuit(profile(endpoint_side_gates=2))
+        for g in c.gates:
+            if g.name.startswith("side"):
+                fanouts = c.fanouts(g.index)
+                assert len(fanouts) == 1
+                assert g.index not in c.outputs
+
+    def test_no_side_gates_when_zero(self):
+        c = generate_circuit(profile(endpoint_side_gates=0))
+        assert not any(g.name.startswith("side") for g in c.gates)
+        assert not any(g.name.startswith("ep") for g in c.gates)
+
+    def test_large_side_budget_folds_to_four_inputs(self):
+        c = generate_circuit(profile(endpoint_side_gates=5))
+        for g in c.gates:
+            assert g.arity <= 4
+
+    def test_short_path_fraction_shapes_ppo_arrivals(self):
+        from repro.timing.sta import run_sta
+        many_short = generate_circuit(profile(
+            name="short", short_path_ppo_fraction=0.8, endpoint_side_gates=0))
+        few_short = generate_circuit(profile(
+            name="long", short_path_ppo_fraction=0.0, endpoint_side_gates=0))
+        def median_ppo_arrival(c):
+            sta = run_sta(c)
+            arr = sorted(sta.arrival_max[op.gate]
+                         for op in c.observation_points() if op.is_pseudo)
+            return arr[len(arr) // 2] / sta.critical_path
+        assert median_ppo_arrival(many_short) < median_ppo_arrival(few_short)

@@ -1,0 +1,80 @@
+"""Tests for monitor insertion at long path ends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitors.insertion import insert_monitors
+from repro.monitors.monitor import MonitorConfigSet
+from repro.timing.clock import ClockSpec
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture()
+def setup(small_generated):
+    sta = run_sta(small_generated)
+    configs = MonitorConfigSet.paper_default(sta.clock_period)
+    return small_generated, sta, configs
+
+
+class TestInsertion:
+    def test_default_quarter_of_ppos(self, setup):
+        circuit, sta, configs = setup
+        placement = insert_monitors(circuit, sta, configs)
+        n_ppos = sum(1 for op in circuit.observation_points() if op.is_pseudo)
+        assert placement.count == max(1, round(0.25 * n_ppos))
+
+    def test_monitors_on_longest_paths(self, setup):
+        circuit, sta, configs = setup
+        placement = insert_monitors(circuit, sta, configs)
+        monitored = [sta.arrival_max[op.gate] for op in placement.points]
+        unmonitored = [sta.arrival_max[op.gate]
+                       for op in circuit.observation_points()
+                       if op.is_pseudo and op not in placement.points]
+        if unmonitored:
+            assert min(monitored) >= max(
+                a for a in unmonitored) - 1e-9 or \
+                min(monitored) >= sorted(unmonitored)[-1] - 1e-9
+
+    def test_fraction_zero(self, setup):
+        circuit, sta, configs = setup
+        placement = insert_monitors(circuit, sta, configs, fraction=0.0)
+        assert placement.count == 0
+        assert placement.monitored_gates == frozenset()
+
+    def test_fraction_one_covers_all_ppos(self, setup):
+        circuit, sta, configs = setup
+        placement = insert_monitors(circuit, sta, configs, fraction=1.0)
+        n_ppos = sum(1 for op in circuit.observation_points() if op.is_pseudo)
+        assert placement.count == n_ppos
+
+    def test_at_least_one_when_fraction_positive(self, s27):
+        sta = run_sta(s27)
+        configs = MonitorConfigSet.paper_default(sta.clock_period)
+        placement = insert_monitors(s27, sta, configs, fraction=0.01)
+        assert placement.count == 1
+
+    def test_invalid_fraction(self, setup):
+        circuit, sta, configs = setup
+        with pytest.raises(ValueError):
+            insert_monitors(circuit, sta, configs, fraction=1.5)
+
+    def test_include_primary_outputs(self, setup):
+        circuit, sta, configs = setup
+        with_pos = insert_monitors(circuit, sta, configs, fraction=1.0,
+                                   include_primary_outputs=True)
+        only_ppos = insert_monitors(circuit, sta, configs, fraction=1.0)
+        assert with_pos.count >= only_ppos.count
+
+    def test_deterministic(self, setup):
+        circuit, sta, configs = setup
+        a = insert_monitors(circuit, sta, configs)
+        b = insert_monitors(circuit, sta, configs)
+        assert [p.name for p in a.points] == [p.name for p in b.points]
+
+    def test_monitor_names_reference_points(self, setup):
+        circuit, sta, configs = setup
+        placement = insert_monitors(circuit, sta, configs)
+        for mon, op in zip(placement.bank, placement.points):
+            assert op.name in mon.name
+            assert mon.gate == op.gate

@@ -1,0 +1,87 @@
+"""Tests for the Liberty subset reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.cells import nangate45_like
+from repro.netlist.liberty import (
+    LibertyParseError,
+    load_liberty,
+    parse_liberty,
+    save_liberty,
+    write_liberty,
+)
+
+
+class TestRoundTrip:
+    def test_default_library_round_trip(self):
+        lib = nangate45_like()
+        again = parse_liberty(write_liberty(lib))
+        assert again.name == lib.name
+        assert set(again.cells) == set(lib.cells)
+        for name, spec in lib.cells.items():
+            spec2 = again.cells[name]
+            assert spec2.kind == spec.kind
+            assert spec2.max_inputs == spec.max_inputs
+            assert spec2.base_rise == pytest.approx(spec.base_rise, abs=1e-3)
+            assert spec2.base_fall == pytest.approx(spec.base_fall, abs=1e-3)
+            assert spec2.pin_spread == pytest.approx(spec.pin_spread)
+            assert spec2.load_rise == pytest.approx(spec.load_rise)
+
+    def test_pin_delays_equivalent_after_round_trip(self):
+        lib = nangate45_like()
+        again = parse_liberty(write_liberty(lib))
+        nand3 = lib.choose("NAND", 3)
+        nand3b = again.choose("NAND", 3)
+        for pin in range(3):
+            for fanout in (1, 4):
+                assert nand3b.pin_delay(pin, fanout) == pytest.approx(
+                    nand3.pin_delay(pin, fanout), abs=1e-2)
+
+    def test_file_round_trip(self, tmp_path):
+        lib = nangate45_like()
+        path = tmp_path / "lib.lib"
+        save_liberty(lib, path)
+        assert load_liberty(path).name == lib.name
+
+
+class TestParser:
+    def test_no_library_group(self):
+        with pytest.raises(LibertyParseError, match="no library"):
+            parse_liberty("cell (X) { }")
+
+    def test_cell_without_function(self):
+        text = """library (l) { cell (X) {
+            pin (in0) { timing () { cell_rise : 1.0; cell_fall : 1.0; } }
+        } }"""
+        with pytest.raises(LibertyParseError, match="no function"):
+            parse_liberty(text)
+
+    def test_cell_without_pins(self):
+        text = 'library (l) { cell (X) { function : "AND"; } }'
+        with pytest.raises(LibertyParseError, match="no pin in0"):
+            parse_liberty(text)
+
+    def test_unbalanced_braces(self):
+        text = 'library (l) { cell (X) { function : "AND"; '
+        with pytest.raises(LibertyParseError, match="unbalanced"):
+            parse_liberty(text)
+
+    def test_defaults_applied(self):
+        text = """library (l) { cell (X) {
+            function : "AND";
+            pin (in0) { timing () { cell_rise : 9.0; cell_fall : 8.0; } }
+        } }"""
+        lib = parse_liberty(text)
+        spec = lib.cells["X"]
+        assert spec.load_rise == 1.6  # default
+        assert spec.base_rise == 9.0
+
+    def test_usable_by_circuit(self, tmp_path):
+        """A parsed library drives delay assignment end to end."""
+        from repro.netlist.bench import parse_bench
+        lib = parse_liberty(write_liberty(nangate45_like()))
+        c = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
+                        library=lib)
+        assert c.gate_by_name("y").cell == "NAND2_X1"

@@ -1,0 +1,74 @@
+"""Tests for the benchmark library / paper suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.library import (
+    PAPER_SUITE,
+    QUICK_SUITE_NAMES,
+    embedded_circuit,
+    paper_suite,
+    scaled_profile,
+    suite_circuit,
+)
+
+
+class TestEmbedded:
+    def test_s27(self):
+        c = embedded_circuit("s27")
+        assert (c.num_gates, c.num_ffs) == (10, 3)
+
+    def test_c17(self):
+        c = embedded_circuit("c17")
+        assert (c.num_gates, c.num_ffs) == (6, 0)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown embedded"):
+            embedded_circuit("s38584")
+
+
+class TestSuite:
+    def test_twelve_circuits(self):
+        assert len(PAPER_SUITE) == 12
+        assert [e.name for e in PAPER_SUITE[:3]] == ["s9234", "s13207", "s15850"]
+
+    def test_quick_suite_subset(self):
+        names = {e.name for e in PAPER_SUITE}
+        assert set(QUICK_SUITE_NAMES) <= names
+
+    def test_selection_preserves_order(self):
+        sel = paper_suite(["p89k", "s9234"])
+        assert [e.name for e in sel] == ["s9234", "p89k"]
+
+    def test_unknown_selection(self):
+        with pytest.raises(KeyError):
+            paper_suite(["b19"])
+
+    def test_paper_statistics_embedded(self):
+        by_name = {e.name: e for e in PAPER_SUITE}
+        assert by_name["s9234"].paper_gates == 1766
+        assert by_name["p141k"].paper_ffs == 10501
+
+    def test_scaling(self):
+        full = scaled_profile("s9234", scale=1.0)
+        half = scaled_profile("s9234", scale=0.5)
+        assert half.n_gates < full.n_gates
+        assert half.n_ffs < full.n_ffs
+
+    def test_pattern_budget_scales(self):
+        e = paper_suite(["p45k"])[0]
+        assert e.pattern_budget(scale=0.5) < e.pattern_budget(scale=1.0)
+        assert e.pattern_budget(scale=0.01) >= 8
+
+    def test_suite_circuit_generates(self):
+        c = suite_circuit("s9234", scale=0.5)
+        assert c.name == "s9234"
+        assert c.is_finalized
+
+    def test_gain_knob_reflects_paper(self):
+        """Circuits with tiny paper gains carry no endpoint side logic."""
+        by_name = {e.name: e for e in PAPER_SUITE}
+        assert by_name["s35932"].endpoint_side_gates == 0
+        assert by_name["p78k"].endpoint_side_gates == 0
+        assert by_name["p89k"].endpoint_side_gates >= 3

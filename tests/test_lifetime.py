@@ -1,0 +1,93 @@
+"""Tests for the lifetime simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aging.degradation import AgingScenario
+from repro.aging.lifetime import LifetimeSimulator
+from repro.aging.marginal import inject_marginal_defects
+from repro.monitors.insertion import insert_monitors
+from repro.monitors.monitor import MonitorConfigSet
+from repro.timing.clock import ClockSpec
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture(scope="module")
+def lifetime_setup():
+    from repro.circuits.library import embedded_circuit
+    circuit = embedded_circuit("s27")
+    sta = run_sta(circuit)
+    clock = ClockSpec(sta.clock_period)
+    configs = MonitorConfigSet.paper_default(clock.t_nom)
+    placement = insert_monitors(circuit, sta, configs, fraction=1.0)
+    return circuit, clock, placement
+
+
+@pytest.fixture(scope="module")
+def wearout_result(lifetime_setup):
+    circuit, clock, placement = lifetime_setup
+    sim = LifetimeSimulator(circuit, clock, placement,
+                            scenario=AgingScenario(seed=2),
+                            workload_patterns=6, seed=3)
+    return sim.run([0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0])
+
+
+class TestLifetime:
+    def test_needs_some_model(self, lifetime_setup):
+        circuit, clock, placement = lifetime_setup
+        with pytest.raises(ValueError):
+            LifetimeSimulator(circuit, clock, placement)
+
+    def test_times_must_ascend(self, lifetime_setup):
+        circuit, clock, placement = lifetime_setup
+        sim = LifetimeSimulator(circuit, clock, placement,
+                                scenario=AgingScenario(seed=1))
+        with pytest.raises(ValueError):
+            sim.run([2.0, 1.0])
+
+    def test_slack_decreases(self, wearout_result):
+        slacks = [p.slack for p in wearout_result.points]
+        assert all(a >= b - 1e-9 for a, b in zip(slacks, slacks[1:]))
+
+    def test_critical_path_grows(self, wearout_result):
+        cpls = [p.critical_path for p in wearout_result.points]
+        assert cpls == sorted(cpls)
+
+    def test_failure_time_matches_first_negative_slack(self, wearout_result):
+        ft = wearout_result.failure_time
+        for p in wearout_result.points:
+            if p.t == ft:
+                assert p.failed
+            elif ft is not None and p.t < ft:
+                assert not p.failed
+
+    def test_wide_guard_band_alerts_first(self, wearout_result):
+        """Larger delay element = wider detection window = earlier alert."""
+        delays = wearout_result.config_delays
+        first = [wearout_result.first_alert_time(ci)
+                 for ci in range(len(delays))]
+        seen = [(d, t) for d, t in zip(delays, first) if t is not None]
+        for (d_small, t_small), (d_large, t_large) in zip(seen, seen[1:]):
+            assert d_small < d_large
+            assert t_large <= t_small
+
+    def test_margin_series_shape(self, wearout_result):
+        series = wearout_result.margin_series()
+        assert len(series) == len(wearout_result.points)
+        assert all(isinstance(t, float) for t, _s in series)
+
+    def test_marginal_device_fails_earlier(self, lifetime_setup):
+        circuit, clock, placement = lifetime_setup
+        times = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        healthy = LifetimeSimulator(
+            circuit, clock, placement, scenario=AgingScenario(seed=2),
+            workload_patterns=4, seed=3).run(times)
+        weak = LifetimeSimulator(
+            circuit, clock, placement, scenario=AgingScenario(seed=2),
+            marginal=inject_marginal_defects(circuit, count=3, seed=4),
+            workload_patterns=4, seed=3).run(times)
+        for h, w in zip(healthy.points, weak.points):
+            assert w.critical_path >= h.critical_path - 1e-9
+        if healthy.failure_time is not None and weak.failure_time is not None:
+            assert weak.failure_time <= healthy.failure_time

@@ -1,0 +1,114 @@
+"""Tests for two- and three-valued gate evaluation."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.circuit import GateKind
+from repro.simulation.logic import X, controlling_value, eval_binary, eval_ternary, inversion_parity
+
+ALL_KINDS = [GateKind.AND, GateKind.NAND, GateKind.OR, GateKind.NOR,
+             GateKind.XOR, GateKind.XNOR]
+
+
+class TestBinary:
+    @pytest.mark.parametrize("kind,table", [
+        (GateKind.AND, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        (GateKind.NAND, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        (GateKind.OR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+        (GateKind.NOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+        (GateKind.XOR, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        (GateKind.XNOR, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+    ])
+    def test_two_input_truth_tables(self, kind, table):
+        for inputs, expected in table.items():
+            assert eval_binary(kind, inputs) == expected
+
+    def test_not_buf(self):
+        assert eval_binary(GateKind.NOT, [0]) == 1
+        assert eval_binary(GateKind.NOT, [1]) == 0
+        assert eval_binary(GateKind.BUF, [0]) == 0
+        assert eval_binary(GateKind.BUF, [1]) == 1
+
+    def test_wide_gates(self):
+        assert eval_binary(GateKind.AND, [1, 1, 1, 1]) == 1
+        assert eval_binary(GateKind.AND, [1, 1, 0, 1]) == 0
+        assert eval_binary(GateKind.XOR, [1, 1, 1]) == 1
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            eval_binary("MUX", [0, 1])
+
+
+class TestTernary:
+    def test_controlling_value_decides(self):
+        assert eval_ternary(GateKind.AND, [0, X]) == 0
+        assert eval_ternary(GateKind.NAND, [0, X]) == 1
+        assert eval_ternary(GateKind.OR, [1, X]) == 1
+        assert eval_ternary(GateKind.NOR, [1, X]) == 0
+
+    def test_x_propagates(self):
+        assert eval_ternary(GateKind.AND, [1, X]) == X
+        assert eval_ternary(GateKind.OR, [0, X]) == X
+        assert eval_ternary(GateKind.XOR, [1, X]) == X
+        assert eval_ternary(GateKind.NOT, [X]) == X
+        assert eval_ternary(GateKind.BUF, [X]) == X
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            eval_ternary("MAJ", [0, 1])
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_agrees_with_binary_when_specified(self, kind):
+        for inputs in itertools.product((0, 1), repeat=3):
+            if kind in (GateKind.XOR, GateKind.XNOR) or True:
+                assert eval_ternary(kind, inputs) == eval_binary(kind, inputs)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_x_output_consistent_with_both_resolutions(self, kind):
+        """If ternary says X, both 0 and 1 must be reachable by filling Xs;
+        if it says 0/1, every filling must produce that value."""
+        for inputs in itertools.product((0, 1, X), repeat=2):
+            result = eval_ternary(kind, inputs)
+            fillings = set()
+            x_pos = [i for i, v in enumerate(inputs) if v == X]
+            for fill in itertools.product((0, 1), repeat=len(x_pos)):
+                filled = list(inputs)
+                for pos, v in zip(x_pos, fill):
+                    filled[pos] = v
+                fillings.add(eval_binary(kind, filled))
+            if result == X:
+                assert fillings == {0, 1}
+            else:
+                assert fillings == {result}
+
+
+class TestHelpers:
+    def test_controlling_values(self):
+        assert controlling_value(GateKind.AND) == 0
+        assert controlling_value(GateKind.NAND) == 0
+        assert controlling_value(GateKind.OR) == 1
+        assert controlling_value(GateKind.NOR) == 1
+        assert controlling_value(GateKind.XOR) is None
+
+    def test_inversion_parity(self):
+        assert inversion_parity(GateKind.NAND)
+        assert inversion_parity(GateKind.NOT)
+        assert not inversion_parity(GateKind.AND)
+
+
+@given(st.sampled_from(ALL_KINDS),
+       st.lists(st.integers(0, 1), min_size=2, max_size=4))
+def test_binary_matches_python_semantics(kind, values):
+    expected = {
+        GateKind.AND: int(all(values)),
+        GateKind.NAND: int(not all(values)),
+        GateKind.OR: int(any(values)),
+        GateKind.NOR: int(not any(values)),
+        GateKind.XOR: sum(values) % 2,
+        GateKind.XNOR: 1 - sum(values) % 2,
+    }[kind]
+    assert eval_binary(kind, values) == expected

@@ -1,0 +1,56 @@
+"""Tests for marginal (early-life) device modeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aging.marginal import MarginalDeviceModel, inject_marginal_defects
+from repro.timing.variation import fault_size_for_gate
+
+
+class TestModel:
+    def test_initial_extra_delay_is_delta0(self):
+        m = MarginalDeviceModel(weak_gates={3: 20.0})
+        assert m.extra_delay(3, 0.0) == pytest.approx(20.0)
+
+    def test_growth_over_time(self):
+        m = MarginalDeviceModel(weak_gates={3: 20.0}, growth=1.0, accel=1.0)
+        assert m.extra_delay(3, 2.0) == pytest.approx(60.0)
+
+    def test_strong_gates_unaffected(self):
+        m = MarginalDeviceModel(weak_gates={3: 20.0})
+        assert m.extra_delay(4, 5.0) == 0.0
+
+    def test_monotone(self):
+        m = MarginalDeviceModel(weak_gates={0: 10.0})
+        values = [m.extra_delay(0, t) for t in (0, 1, 2, 5)]
+        assert values == sorted(values)
+
+    def test_delay_factors_relative(self, s27):
+        gate = s27.combinational_gates()[0]
+        m = MarginalDeviceModel(weak_gates={gate: 10.0})
+        factors = m.delay_factors(s27, 0.0)
+        base = s27.gates[gate].max_delay()
+        assert factors[gate] == pytest.approx(1.0 + 10.0 / base)
+
+
+class TestInjection:
+    def test_count_and_determinism(self, s27):
+        a = inject_marginal_defects(s27, count=3, seed=7)
+        b = inject_marginal_defects(s27, count=3, seed=7)
+        assert a.weak_gates == b.weak_gates
+        assert len(a.weak_gates) == 3
+
+    def test_sized_at_six_sigma(self, s27):
+        m = inject_marginal_defects(s27, count=2, seed=1)
+        for gate, delta in m.weak_gates.items():
+            assert delta == pytest.approx(fault_size_for_gate(s27, gate))
+
+    def test_only_combinational_gates(self, s27):
+        m = inject_marginal_defects(s27, count=5, seed=2)
+        comb = set(s27.combinational_gates())
+        assert set(m.weak_gates) <= comb
+
+    def test_too_many_rejected(self, s27):
+        with pytest.raises(ValueError):
+            inject_marginal_defects(s27, count=10_000, seed=0)

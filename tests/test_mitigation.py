@@ -1,0 +1,107 @@
+"""Tests for alert-driven aging mitigation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aging.degradation import AgingScenario
+from repro.aging.lifetime import LifetimeSimulator
+from repro.aging.mitigation import (
+    AdaptiveLifetimeSimulator,
+    MitigationPolicy,
+)
+from repro.monitors.insertion import insert_monitors
+from repro.monitors.monitor import MonitorConfigSet
+from repro.timing.clock import ClockSpec
+from repro.timing.sta import run_sta
+
+TIMES = [0.25, 0.5, 1, 2, 4, 8, 16, 32, 64]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.circuits.library import embedded_circuit
+    circuit = embedded_circuit("s27")
+    sta = run_sta(circuit)
+    clock = ClockSpec(1.15 * sta.critical_path)
+    configs = MonitorConfigSet.paper_default(clock.t_nom)
+    placement = insert_monitors(circuit, sta, configs, fraction=1.0)
+    return circuit, clock, placement
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MitigationPolicy(clock_stretch=0.9)
+        with pytest.raises(ValueError):
+            MitigationPolicy(stress_derate=0.0)
+        with pytest.raises(ValueError):
+            MitigationPolicy(stress_derate=1.5)
+
+
+class TestAdaptiveSimulation:
+    @pytest.fixture(scope="class")
+    def runs(self, setup):
+        circuit, clock, placement = setup
+        scenario = AgingScenario(seed=2)
+        adaptive = AdaptiveLifetimeSimulator(
+            circuit, clock, placement, scenario=scenario,
+            policy=MitigationPolicy(clock_stretch=1.08, stress_derate=0.5,
+                                    max_actions=3),
+            workload_patterns=12, seed=3).run(TIMES)
+        passive = LifetimeSimulator(
+            circuit, clock, placement, scenario=scenario,
+            workload_patterns=12, seed=3).run(TIMES)
+        return adaptive, passive
+
+    def test_times_must_ascend(self, setup):
+        circuit, clock, placement = setup
+        sim = AdaptiveLifetimeSimulator(circuit, clock, placement,
+                                        scenario=AgingScenario(seed=1))
+        with pytest.raises(ValueError):
+            sim.run([2.0, 1.0])
+
+    def test_mitigation_extends_lifetime(self, runs):
+        adaptive, passive = runs
+        t_adaptive = adaptive.failure_time
+        t_passive = passive.failure_time
+        if t_passive is not None:
+            assert t_adaptive is None or t_adaptive >= t_passive
+
+    def test_actions_bounded(self, runs):
+        adaptive, _ = runs
+        assert adaptive.total_actions <= 3
+
+    def test_clock_only_stretches(self, runs):
+        adaptive, _ = runs
+        periods = [p for _t, p in adaptive.clock_trajectory()]
+        assert all(b >= a - 1e-9 for a, b in zip(periods, periods[1:]))
+
+    def test_config_steps_down_after_alerts(self, runs):
+        adaptive, _ = runs
+        configs = [p.config for p in adaptive.points]
+        assert configs[0] == 3  # starts at the widest guard band
+        assert all(b <= a for a, b in zip(configs, configs[1:]))
+        if adaptive.total_actions:
+            assert min(configs) < 3
+
+    def test_alert_triggers_action(self, runs):
+        adaptive, _ = runs
+        for a, b in zip(adaptive.points, adaptive.points[1:]):
+            if a.alert and a.actions_taken < 3:
+                assert b.actions_taken == a.actions_taken + 1
+
+    def test_stress_derate_slows_cpl_growth(self, setup):
+        circuit, clock, placement = setup
+        scenario = AgingScenario(seed=2)
+        strong = AdaptiveLifetimeSimulator(
+            circuit, clock, placement, scenario=scenario,
+            policy=MitigationPolicy(stress_derate=0.3, clock_stretch=1.0),
+            workload_patterns=4, seed=3).run(TIMES)
+        weak = AdaptiveLifetimeSimulator(
+            circuit, clock, placement, scenario=scenario,
+            policy=MitigationPolicy(stress_derate=1.0, clock_stretch=1.0),
+            workload_patterns=4, seed=3).run(TIMES)
+        # Same clock, but derated stress ages strictly slower at the end.
+        assert strong.points[-1].critical_path <= \
+            weak.points[-1].critical_path + 1e-9

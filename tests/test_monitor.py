@@ -1,0 +1,125 @@
+"""Tests for the programmable delay monitor hardware model (Fig. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitors.monitor import (
+    PAPER_DELAY_FRACTIONS,
+    MonitorBank,
+    MonitorConfigSet,
+    ProgrammableDelayMonitor,
+)
+from repro.simulation.waveform import Waveform
+
+
+class TestConfigSet:
+    def test_paper_default(self):
+        cfg = MonitorConfigSet.paper_default(300.0)
+        assert len(cfg) == 4
+        assert cfg[0] == pytest.approx(15.0)
+        assert cfg.largest == pytest.approx(100.0)
+        assert list(cfg) == sorted(cfg)
+
+    def test_fractions_constant(self):
+        assert PAPER_DELAY_FRACTIONS == (0.05, 0.10, 0.15, 1.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonitorConfigSet(())
+        with pytest.raises(ValueError):
+            MonitorConfigSet((0.0, 1.0))
+        with pytest.raises(ValueError):
+            MonitorConfigSet((2.0, 1.0))
+
+    def test_index_of(self):
+        cfg = MonitorConfigSet((1.0, 2.0, 4.0))
+        assert cfg.index_of(2.0) == 1
+        with pytest.raises(ValueError):
+            cfg.index_of(3.0)
+
+
+class TestMonitorCapture:
+    @pytest.fixture()
+    def monitor(self):
+        return ProgrammableDelayMonitor(
+            name="m0", gate=0, configs=MonitorConfigSet((10.0, 50.0)),
+            selected=1)
+
+    def test_selection(self, monitor):
+        assert monitor.delay == 50.0
+        monitor.select(0)
+        assert monitor.delay == 10.0
+        with pytest.raises(ValueError):
+            monitor.select(2)
+
+    def test_bad_initial_selection(self):
+        with pytest.raises(ValueError):
+            ProgrammableDelayMonitor("m", 0, MonitorConfigSet((1.0,)),
+                                     selected=5)
+
+    def test_stable_signal_no_alert(self, monitor):
+        # Fig. 2b: signal settles before the detection window opens.
+        wave = Waveform(0, [(100.0, 1)])
+        assert not monitor.alert(wave, t_capture=300.0)
+
+    def test_late_transition_alerts(self, monitor):
+        # Fig. 2b: degraded signal toggles inside the 50 ps guard band.
+        wave = Waveform(0, [(280.0, 1)])
+        assert monitor.alert(wave, t_capture=300.0)
+        assert monitor.main_value(wave, 300.0) == 1
+        assert monitor.shadow_value(wave, 300.0) == 0
+
+    def test_smaller_delay_tolerates_more(self, monitor):
+        # Fig. 2c: after switching to the small element the same late
+        # transition no longer violates the narrow window.
+        wave = Waveform(0, [(280.0, 1)])
+        monitor.select(0)  # 10 ps window
+        assert not monitor.alert(wave, t_capture=300.0)
+
+    def test_even_toggle_count_escapes_xor(self, monitor):
+        # A pulse inside the window leaves main == shadow, XOR misses it...
+        wave = Waveform(0, [(260.0, 1), (290.0, 0)])
+        assert not monitor.alert(wave, t_capture=300.0)
+        # ...but the strict stability check reports it.
+        assert monitor.window_violation(wave, t_capture=300.0)
+
+    def test_hdf_detection_via_delay_shift(self):
+        """Fig. 2d: a fault observable only before t_min becomes visible to
+        the shadow register at nominal speed under a large delay element."""
+        t_nom = 300.0
+        configs = MonitorConfigSet.paper_default(t_nom)
+        mon = ProgrammableDelayMonitor("m", 0, configs, selected=3)  # t/3
+        # Fault-free settles at 190 ps, faulty at 210 ps: the difference
+        # window [190, 210) lies below t_min = 100... relative to FAST it
+        # requires capture before 210 ps, unreachable at nominal speed.
+        good = Waveform(0, [(190.0, 1)])
+        bad = Waveform(0, [(210.0, 1)])
+        # Standard FF at t_nom sees no difference...
+        assert good.value_at(t_nom) == bad.value_at(t_nom)
+        # ...but the shadow register with delay1 = t_nom/3 samples the
+        # signal at 200 ps, inside the difference window:
+        assert mon.shadow_value(good, t_nom) != mon.shadow_value(bad, t_nom)
+        # A small delay element (Delay4 = 15 ps) misses the fault (Fig. 2d).
+        mon.select(0)
+        assert mon.shadow_value(good, t_nom) == mon.shadow_value(bad, t_nom)
+
+
+class TestBank:
+    def test_select_all(self):
+        cfg = MonitorConfigSet((5.0, 20.0))
+        bank = MonitorBank([
+            ProgrammableDelayMonitor(f"m{i}", gate=i, configs=cfg)
+            for i in range(3)])
+        bank.select_all(1)
+        assert all(m.selected == 1 for m in bank)
+
+    def test_alerts_vector(self):
+        cfg = MonitorConfigSet((50.0,))
+        bank = MonitorBank([
+            ProgrammableDelayMonitor("m0", gate=0, configs=cfg),
+            ProgrammableDelayMonitor("m1", gate=1, configs=cfg)])
+        waves = [Waveform(0, [(280.0, 1)]), Waveform(0, [(10.0, 1)])]
+        assert bank.alerts(waves, 300.0) == [True, False]
+        assert bank.any_alert(waves, 300.0)
+        assert bank.gates() == frozenset({0, 1})

@@ -1,0 +1,123 @@
+"""Tests for path statistics and critical-path extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.circuit import Circuit, GateKind
+from repro.timing.paths import (
+    endpoint_arrival_histogram,
+    k_longest_paths,
+    k_shortest_paths,
+    short_path_fraction,
+)
+from repro.timing.sta import run_sta
+
+
+@pytest.fixture()
+def diamond():
+    c = Circuit("diamond")
+    a = c.add_input("a")
+    l1 = c.add_gate("l1", GateKind.NOT, [a])
+    l2 = c.add_gate("l2", GateKind.NOT, [l1])
+    s1 = c.add_gate("s1", GateKind.BUF, [a])
+    top = c.add_gate("top", GateKind.AND, [l2, s1])
+    c.mark_output(top)
+    return c.finalize()
+
+
+class TestPathEnumeration:
+    def test_longest_path_matches_sta(self, diamond):
+        sta = run_sta(diamond)
+        top = diamond.index_of("top")
+        paths = k_longest_paths(diamond, top, 1)
+        assert paths[0].length == pytest.approx(sta.arrival_max[top])
+
+    def test_shortest_path_matches_sta(self, diamond):
+        sta = run_sta(diamond)
+        top = diamond.index_of("top")
+        paths = k_shortest_paths(diamond, top, 1)
+        assert paths[0].length == pytest.approx(sta.arrival_min[top])
+
+    def test_paths_ordered(self, diamond):
+        top = diamond.index_of("top")
+        longest = k_longest_paths(diamond, top, 5)
+        lengths = [p.length for p in longest]
+        assert lengths == sorted(lengths, reverse=True)
+        shortest = k_shortest_paths(diamond, top, 5)
+        lengths = [p.length for p in shortest]
+        assert lengths == sorted(lengths)
+
+    def test_diamond_has_two_paths(self, diamond):
+        top = diamond.index_of("top")
+        paths = k_longest_paths(diamond, top, 10)
+        assert len(paths) == 2
+        names = {tuple(diamond.gates[g].name for g in p.gates)
+                 for p in paths}
+        assert ("a", "l1", "l2", "top") in names
+        assert ("a", "s1", "top") in names
+
+    def test_paths_start_at_sources(self, s27):
+        sta = run_sta(s27)
+        endpoint = max((op.gate for op in s27.observation_points()),
+                       key=lambda g: sta.arrival_max[g])
+        for p in k_longest_paths(s27, endpoint, 8):
+            first = s27.gates[p.gates[0]]
+            assert GateKind.is_source(first.kind)
+            assert p.gates[-1] == endpoint
+
+    def test_path_lengths_consistent_with_delays(self, s27):
+        endpoint = s27.observation_points()[0].gate
+        for p in k_longest_paths(s27, endpoint, 3):
+            total = 0.0
+            for prev, cur in zip(p.gates, p.gates[1:]):
+                g = s27.gates[cur]
+                pin = list(g.fanin).index(prev)
+                total += max(g.pin_delays[pin])
+            assert total == pytest.approx(p.length)
+
+    def test_describe(self, diamond):
+        top = diamond.index_of("top")
+        text = k_longest_paths(diamond, top, 1)[0].describe(diamond)
+        assert "->" in text and "ps" in text
+
+
+class TestStatistics:
+    def test_histogram_counts_all_ppos(self, small_generated):
+        sta = run_sta(small_generated)
+        hist = endpoint_arrival_histogram(small_generated, sta, bins=8)
+        n_ppos = sum(1 for op in small_generated.observation_points()
+                     if op.is_pseudo)
+        assert sum(c for _lo, _hi, c in hist) == n_ppos
+        assert len(hist) == 8
+
+    def test_histogram_bins_cover_critical_path(self, small_generated):
+        sta = run_sta(small_generated)
+        hist = endpoint_arrival_histogram(small_generated, sta, bins=4)
+        assert hist[0][0] == 0.0
+        assert hist[-1][1] == pytest.approx(sta.critical_path)
+
+    def test_histogram_bins_validated(self, small_generated):
+        sta = run_sta(small_generated)
+        with pytest.raises(ValueError):
+            endpoint_arrival_histogram(small_generated, sta, bins=0)
+
+    def test_short_path_fraction_bounds(self, small_generated):
+        sta = run_sta(small_generated)
+        assert short_path_fraction(small_generated, sta, 0.0) == 0.0
+        assert short_path_fraction(
+            small_generated, sta, sta.critical_path * 2) == 1.0
+
+    def test_short_fraction_predicts_monitor_gain(self):
+        """The generator knob that drives Table I gains shows up in the
+        metric: more shallow PPOs -> larger short-path fraction."""
+        from repro.circuits.generators import CircuitProfile, generate_circuit
+        def frac(ppo_frac):
+            profile = CircuitProfile(
+                name=f"f{ppo_frac}", n_gates=80, n_ffs=20, n_inputs=10,
+                n_outputs=4, depth=8, seed=3, endpoint_side_gates=0,
+                short_path_ppo_fraction=ppo_frac)
+            c = generate_circuit(profile)
+            sta = run_sta(c)
+            return short_path_fraction(c, sta, sta.clock_period / 3)
+        assert frac(0.7) > frac(0.0)

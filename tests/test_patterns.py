@@ -1,0 +1,79 @@
+"""Tests for pattern containers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.atpg.patterns import PatternPair, TestSet, random_test_set
+from repro.simulation.logic import X
+
+
+class TestPatternPair:
+    def test_width_check(self):
+        with pytest.raises(ValueError):
+            PatternPair((0, 1), (0,))
+
+    def test_value_check(self):
+        with pytest.raises(ValueError):
+            PatternPair((0, 3), (0, 1))
+
+    def test_has_dont_cares(self):
+        assert PatternPair((X, 0), (0, 0)).has_dont_cares
+        assert not PatternPair((1, 0), (0, 0)).has_dont_cares
+
+    def test_filled_deterministic(self):
+        p = PatternPair((X, X, 1), (0, X, X))
+        a = p.filled(random.Random(5))
+        b = p.filled(random.Random(5))
+        assert a == b
+        assert not a.has_dont_cares
+        assert a.launch[2] == 1 and a.capture[0] == 0
+
+    def test_filled_noop_without_x(self):
+        p = PatternPair((0, 1), (1, 0))
+        assert p.filled(random.Random(0)) is p
+
+    def test_merge_compatible(self):
+        a = PatternPair((0, X), (X, 1))
+        b = PatternPair((X, 1), (0, X))
+        m = a.merged_with(b)
+        assert m == PatternPair((0, 1), (0, 1))
+
+    def test_merge_conflict(self):
+        a = PatternPair((0,), (0,))
+        b = PatternPair((1,), (0,))
+        assert a.merged_with(b) is None
+
+    def test_merge_width_mismatch(self):
+        assert PatternPair((0,), (0,)).merged_with(
+            PatternPair((0, 0), (0, 0))) is None
+
+
+class TestTestSet:
+    def test_width_enforced(self, s27):
+        ts = TestSet(s27)
+        with pytest.raises(ValueError):
+            ts.append(PatternPair((0,), (1,)))
+
+    def test_subset_preserves_order(self, s27):
+        ts = random_test_set(s27, 10, seed=0)
+        sub = ts.subset([3, 1, 7])
+        assert sub[0] == ts[3] and sub[1] == ts[1] and sub[2] == ts[7]
+
+    def test_filled_seeded(self, s27):
+        width = len(s27.sources())
+        ts = TestSet(s27, [PatternPair((X,) * width, (X,) * width)])
+        assert ts.filled(seed=1).patterns == ts.filled(seed=1).patterns
+        assert not ts.filled(seed=1)[0].has_dont_cares
+
+    def test_random_test_set_deterministic(self, s27):
+        a = random_test_set(s27, 5, seed=9)
+        b = random_test_set(s27, 5, seed=9)
+        assert a.patterns == b.patterns
+        assert len(a) == 5
+
+    def test_iteration(self, s27):
+        ts = random_test_set(s27, 3, seed=0)
+        assert len(list(ts)) == 3

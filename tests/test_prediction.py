@@ -1,0 +1,145 @@
+"""Tests for monitor-based failure prediction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aging.lifetime import LifetimePoint, LifetimeResult
+from repro.aging.prediction import FailurePredictor, MarginCrossing, PredictionReport
+from repro.timing.clock import ClockSpec
+
+
+def make_result(points, config_delays=(10.0, 30.0, 60.0)):
+    return LifetimeResult(clock=ClockSpec(300.0),
+                          config_delays=config_delays,
+                          points=points)
+
+
+def pt(t, slack, alerts):
+    return LifetimePoint(t=t, critical_path=300.0 - slack, slack=slack,
+                         alerts=alerts)
+
+
+class TestCrossings:
+    def test_extracted_in_time_order(self):
+        result = make_result([
+            pt(1.0, 100.0, {0: False, 1: False, 2: True}),
+            pt(2.0, 50.0, {0: False, 1: True, 2: True}),
+            pt(3.0, 20.0, {0: True, 1: True, 2: True}),
+        ])
+        crossings = FailurePredictor().crossings_of(result)
+        assert [c.config for c in crossings] == [2, 1, 0]
+        assert [c.time for c in crossings] == [1.0, 2.0, 3.0]
+        assert [c.guard_band for c in crossings] == [60.0, 30.0, 10.0]
+
+    def test_no_alerts_no_crossings(self):
+        result = make_result([pt(1.0, 200.0, {0: False, 1: False, 2: False})])
+        assert FailurePredictor().crossings_of(result) == []
+
+
+class TestPrediction:
+    def test_linear_margin_extrapolation(self):
+        # Margin crosses 60 at t=1, 30 at t=2, 10 at t≈2.67 → slope ≈ -30/u.
+        result = make_result([
+            pt(1.0, 60.0, {0: False, 1: False, 2: True}),
+            pt(2.0, 30.0, {0: False, 1: True, 2: True}),
+            pt(3.0, 0.0, {0: True, 1: True, 2: True}),
+        ])
+        report = FailurePredictor().predict(result)
+        assert report.predicted_failure_time is not None
+        # Margin(t) fit through (1,60),(2,30),(3,10): root near 3.3.
+        assert 2.5 < report.predicted_failure_time < 4.5
+
+    def test_first_warning_time(self):
+        result = make_result([
+            pt(1.0, 100.0, {0: False, 1: False, 2: False}),
+            pt(2.0, 50.0, {0: False, 1: False, 2: True}),
+        ])
+        report = FailurePredictor().predict(result)
+        assert report.first_warning_time == 2.0
+
+    def test_lead_time(self):
+        result = make_result([
+            pt(1.0, 55.0, {0: False, 1: False, 2: True}),
+            pt(2.0, 25.0, {0: False, 1: True, 2: True}),
+            pt(5.0, -1.0, {0: True, 1: True, 2: True}),
+        ])
+        report = FailurePredictor().predict(result)
+        assert report.actual_failure_time == 5.0
+        assert report.lead_time == pytest.approx(4.0)
+
+    def test_slack_fallback_when_single_crossing(self):
+        result = make_result([
+            pt(1.0, 80.0, {0: False, 1: False, 2: False}),
+            pt(2.0, 60.0, {0: False, 1: False, 2: False}),
+            pt(3.0, 40.0, {0: False, 1: False, 2: True}),
+        ])
+        report = FailurePredictor(min_points=2).predict(result)
+        # One crossing only → falls back to the slack series: -20/unit,
+        # root at t = 5.
+        assert report.predicted_failure_time == pytest.approx(5.0, abs=0.2)
+
+    def test_no_fallback_when_disabled(self):
+        result = make_result([
+            pt(1.0, 80.0, {0: False, 1: False, 2: False}),
+            pt(2.0, 60.0, {0: False, 1: False, 2: True}),
+        ])
+        report = FailurePredictor(use_slack_fallback=False).predict(result)
+        assert report.predicted_failure_time is None
+
+    def test_growing_margin_no_prediction(self):
+        result = make_result([
+            pt(1.0, 50.0, {0: False, 1: True, 2: True}),
+            pt(2.0, 80.0, {0: False, 1: False, 2: True}),
+        ])
+        # Crossings: config2@1.0 (60), config1@1.0 (30)... margins don't
+        # shrink over time; predictor must not invent a failure time from
+        # the slack series either (slack grows).
+        report = FailurePredictor().predict(result)
+        if report.predicted_failure_time is not None:
+            assert report.predicted_failure_time > 2.0
+
+
+class TestReport:
+    def test_summary_keys(self):
+        report = PredictionReport(
+            crossings=[MarginCrossing(0, 10.0, 1.0)],
+            predicted_failure_time=4.0,
+            actual_failure_time=5.0,
+            first_warning_time=1.0)
+        s = report.summary()
+        assert s["predicted_failure"] == 4.0
+        assert s["lead_time"] == 4.0
+        assert report.prediction_error == pytest.approx(-1.0)
+
+    def test_unknown_times_give_none(self):
+        report = PredictionReport(crossings=[], predicted_failure_time=None,
+                                  actual_failure_time=None,
+                                  first_warning_time=None)
+        assert report.lead_time is None
+        assert report.prediction_error is None
+
+
+class TestEndToEnd:
+    def test_predicts_before_failure_on_simulated_device(self):
+        """Integration: monitors warn before the device actually fails."""
+        from repro.aging.degradation import AgingScenario
+        from repro.aging.lifetime import LifetimeSimulator
+        from repro.circuits.library import embedded_circuit
+        from repro.monitors.insertion import insert_monitors
+        from repro.monitors.monitor import MonitorConfigSet
+        from repro.timing.sta import run_sta
+
+        circuit = embedded_circuit("s27")
+        sta = run_sta(circuit)
+        clock = ClockSpec(sta.clock_period)
+        configs = MonitorConfigSet.paper_default(clock.t_nom)
+        placement = insert_monitors(circuit, sta, configs, fraction=1.0)
+        sim = LifetimeSimulator(circuit, clock, placement,
+                                scenario=AgingScenario(seed=2),
+                                workload_patterns=8, seed=1)
+        result = sim.run([0.25, 0.5, 1, 2, 4, 8, 16, 32, 64])
+        report = FailurePredictor().predict(result)
+        if result.failure_time is not None:
+            assert report.first_warning_time is not None
+            assert report.first_warning_time <= result.failure_time

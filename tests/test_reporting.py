@@ -1,0 +1,79 @@
+"""Tests for experiment reporting helpers."""
+
+from __future__ import annotations
+
+from repro.experiments.paper_data import PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE3
+from repro.experiments.reporting import compare_table1, compare_table2, format_table
+
+
+class TestFormat:
+    def test_basic_alignment(self):
+        rows = [{"a": 1, "bb": "x"}, {"a": 22, "bb": "yyy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.split() == ["c", "a"]
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 3.14159}])
+        assert "3.1" in text and "3.14159" not in text
+
+    def test_missing_cell_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert text  # no crash; blank cells padded
+
+    def test_title(self):
+        assert format_table([{"a": 1}], title="T").startswith("T\n")
+
+
+class TestPaperData:
+    def test_table1_complete(self):
+        assert len(PAPER_TABLE1) == 12
+        for name, row in PAPER_TABLE1.items():
+            assert len(row) == 8
+            gates, ffs, p, m, conv, prop, gain, tar = row
+            assert prop >= conv
+            assert abs((prop / conv - 1) * 100 - gain) < 1.0, name
+
+    def test_table2_consistency(self):
+        for name, row in PAPER_TABLE2.items():
+            f_conv, f_heur, f_prop, dpc_f, orig, opti, dpc = row
+            assert f_prop <= f_heur, name  # ILP beats heuristic everywhere
+            assert opti < orig
+            # Δ%|PC| column matches its definition within rounding.
+            assert abs((1 - opti / orig) * 100 - dpc) < 0.15, name
+
+    def test_table2_freq_reduction_formula(self):
+        for name, row in PAPER_TABLE2.items():
+            f_conv, _f_heur, f_prop, dpc_f, *_ = row
+            assert abs((1 - f_prop / f_conv) * 100 - dpc_f) < 0.1, name
+
+    def test_table3_monotone(self):
+        for name, by_cov in PAPER_TABLE3.items():
+            f = [by_cov[c][0] for c in (90, 95, 98, 99)]
+            assert f == sorted(f), name
+            s = [by_cov[c][2] for c in (90, 95, 98, 99)]
+            assert s == sorted(s), name
+
+
+class TestComparisons:
+    def test_compare_table1_unknown_circuit_skipped(self):
+        rows = [{"circuit": "nonexistent", "gain_percent": 5.0}]
+        assert compare_table1(rows) == []
+
+    def test_compare_table1_sign_check(self):
+        rows = [{"circuit": "s9234", "gain_percent": 10.0}]
+        out = compare_table1(rows)
+        assert out[0]["both_positive"] is True
+
+    def test_compare_table2_fields(self):
+        rows = [{"circuit": "s9234", "freq_prop": 3, "freq_heur": 4,
+                 "pc_reduction_percent": 90.0}]
+        out = compare_table2(rows)
+        assert out[0]["ilp_beats_heuristic"] is True
+        assert out[0]["paper_dpc_percent"] == 93.4

@@ -1,0 +1,38 @@
+"""Tests for the resynthesis sensitivity experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.resynthesis import resynthesis_comparison
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return resynthesis_comparison("s9234", scale=0.4, pattern_cap=10)
+
+
+class TestResynthesis:
+    def test_three_variants(self, rows):
+        variants = [r["variant"] for r in rows]
+        assert variants[0] == "s9234"
+        assert variants[1].endswith("_dec")
+        assert variants[2].endswith("_buf")
+
+    def test_decomposition_deepens_and_slows(self, rows):
+        original, decomposed, _ = rows
+        assert decomposed["depth"] >= original["depth"]
+        assert decomposed["gates"] >= original["gates"]
+
+    def test_all_variants_produce_detections(self, rows):
+        for r in rows:
+            assert r["prop"] > 0
+            assert r["prop"] >= r["conv"]
+
+    def test_buffering_keeps_ff_count(self, rows):
+        original, _, buffered = rows
+        assert buffered["ffs"] == original["ffs"]
+
+    def test_rows_carry_clock(self, rows):
+        for r in rows:
+            assert r["clk_ps"] > 0

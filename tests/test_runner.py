@@ -1,0 +1,62 @@
+"""Tests for the suite runner and its cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import SuiteRunConfig, clear_cache, run_suite
+
+
+class TestConfig:
+    def test_defaults_cover_full_suite(self):
+        cfg = SuiteRunConfig()
+        assert len(cfg.names) == 12
+        assert cfg.scale == 1.0
+
+    def test_quick_profile(self):
+        cfg = SuiteRunConfig.quick()
+        assert len(cfg.names) == 4
+        assert cfg.scale < 1.0
+
+    def test_quick_overrides(self):
+        cfg = SuiteRunConfig.quick(with_coverage_schedules=True, scale=0.4)
+        assert cfg.with_coverage_schedules
+        assert cfg.scale == 0.4
+
+    def test_hashable_for_cache_key(self):
+        assert hash(SuiteRunConfig.quick()) == hash(SuiteRunConfig.quick())
+
+
+class TestRun:
+    @pytest.fixture()
+    def tiny_cfg(self):
+        return SuiteRunConfig(names=("s9234",), scale=0.25,
+                              with_schedules=False)
+
+    def test_run_and_cache(self, tiny_cfg):
+        clear_cache()
+        first = run_suite(tiny_cfg)
+        second = run_suite(tiny_cfg)
+        assert first["s9234"] is second["s9234"]
+
+    def test_clear_cache_forces_recompute(self, tiny_cfg):
+        first = run_suite(tiny_cfg)
+        clear_cache()
+        second = run_suite(tiny_cfg)
+        assert first["s9234"] is not second["s9234"]
+
+    def test_different_scale_different_entry(self, tiny_cfg):
+        a = run_suite(tiny_cfg)
+        b = run_suite(SuiteRunConfig(names=("s9234",), scale=0.3,
+                                     with_schedules=False))
+        assert a["s9234"] is not b["s9234"]
+
+    def test_pattern_budget_scales_with_suite(self, tiny_cfg):
+        res = run_suite(tiny_cfg)["s9234"]
+        assert len(res.test_set) <= 24  # full-scale budget for s9234
+
+    def test_results_keyed_in_config_order(self):
+        cfg = SuiteRunConfig(names=("s13207", "s9234"), scale=0.25,
+                             with_schedules=False)
+        out = run_suite(cfg)
+        assert list(out) == ["s13207", "s9234"]

@@ -1,0 +1,69 @@
+"""Tests for the scan-chain model and cycle accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.scan import (
+    ScanChainPlan,
+    naive_test_cycles,
+    plan_scan_chains,
+    schedule_test_cycles,
+)
+
+
+class TestPlan:
+    def test_single_chain(self, s27):
+        plan = plan_scan_chains(s27)
+        assert plan.n_chains == 1
+        assert plan.longest_chain == s27.num_ffs
+        assert plan.cycles_per_pattern == s27.num_ffs + 2
+
+    def test_balanced_chains(self, small_generated):
+        plan = plan_scan_chains(small_generated, n_chains=4)
+        chains = plan.chains(small_generated)
+        sizes = [len(c) for c in chains]
+        assert sum(sizes) == small_generated.num_ffs
+        assert max(sizes) - min(sizes) <= 1
+        assert plan.longest_chain == max(sizes)
+
+    def test_all_ffs_assigned_once(self, small_generated):
+        plan = plan_scan_chains(small_generated, n_chains=3)
+        chains = plan.chains(small_generated)
+        flat = [ff for c in chains for ff in c]
+        assert sorted(flat) == sorted(small_generated.dffs)
+
+    def test_zero_chains_rejected(self):
+        with pytest.raises(ValueError):
+            ScanChainPlan(n_ffs=4, n_chains=0)
+
+    def test_mismatched_circuit_rejected(self, s27, small_generated):
+        plan = plan_scan_chains(s27)
+        with pytest.raises(ValueError):
+            plan.chains(small_generated)
+
+
+class TestCycleAccounting:
+    def test_schedule_cycles(self, flow_result_small, small_generated):
+        prop = flow_result_small.schedules["prop"]
+        plan = plan_scan_chains(small_generated, n_chains=2)
+        cycles = schedule_test_cycles(prop, plan, relock_cycles=1000.0)
+        expected = (prop.num_frequencies * 1000.0
+                    + prop.num_entries * plan.cycles_per_pattern)
+        assert cycles == pytest.approx(expected)
+
+    def test_optimized_beats_naive(self, flow_result_small, small_generated):
+        prop = flow_result_small.schedules["prop"]
+        plan = plan_scan_chains(small_generated)
+        n_p = len(flow_result_small.test_set)
+        n_c = len(flow_result_small.configs)
+        assert schedule_test_cycles(prop, plan) <= naive_test_cycles(
+            prop, plan, n_p, n_c)
+
+    def test_more_chains_fewer_cycles(self, flow_result_small,
+                                      small_generated):
+        prop = flow_result_small.schedules["prop"]
+        one = plan_scan_chains(small_generated, n_chains=1)
+        four = plan_scan_chains(small_generated, n_chains=4)
+        assert schedule_test_cycles(prop, four) <= schedule_test_cycles(
+            prop, one)

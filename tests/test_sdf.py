@@ -1,0 +1,102 @@
+"""Tests for the SDF subset reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.sdf import SdfParseError, apply_sdf, parse_sdf, save_sdf, load_sdf, write_sdf
+
+
+class TestWriter:
+    def test_contains_every_gate(self, s27):
+        text = write_sdf(s27)
+        for g in s27.gates:
+            if g.pin_delays:
+                assert f"(INSTANCE {g.name})" in text
+
+    def test_header(self, s27):
+        text = write_sdf(s27, design="mydesign")
+        assert '(DESIGN "mydesign")' in text
+        assert "(TIMESCALE 1ps)" in text
+
+
+class TestRoundTrip:
+    def test_write_apply_identity(self, s27):
+        text = write_sdf(s27)
+        original = {g.name: g.pin_delays for g in s27.gates if g.pin_delays}
+        # Perturb, then restore from SDF.
+        for g in s27.gates:
+            if g.pin_delays:
+                g.pin_delays = tuple((r * 3, f * 3) for r, f in g.pin_delays)
+        applied = apply_sdf(s27, text)
+        assert applied == len(original)
+        for name, delays in original.items():
+            got = s27.gate_by_name(name).pin_delays
+            for (r0, f0), (r1, f1) in zip(delays, got):
+                assert r1 == pytest.approx(r0, abs=1e-3)
+                assert f1 == pytest.approx(f0, abs=1e-3)
+
+    def test_save_load(self, tmp_path, tiny_circuit):
+        path = tmp_path / "tiny.sdf"
+        save_sdf(tiny_circuit, path)
+        assert load_sdf(tiny_circuit, path) > 0
+
+
+class TestParser:
+    def test_triple_forms(self):
+        text = """(DELAYFILE (TIMESCALE 1ps)
+        (CELL (CELLTYPE "X") (INSTANCE g)
+          (DELAY (ABSOLUTE (IOPATH in0 out (1.0:2.0:3.0) (4.0) )))
+        ))"""
+        delays = parse_sdf(text)
+        assert delays["g"] == [(2.0, 4.0)]
+
+    def test_timescale_ns(self):
+        text = """(DELAYFILE (TIMESCALE 1ns)
+        (CELL (CELLTYPE "X") (INSTANCE g)
+          (DELAY (ABSOLUTE (IOPATH in0 out (0.014::0.014) (0.011::0.011))))
+        ))"""
+        delays = parse_sdf(text)
+        assert delays["g"][0][0] == pytest.approx(14.0)
+
+    def test_pins_sorted_by_index(self):
+        text = """(DELAYFILE
+        (CELL (CELLTYPE "X") (INSTANCE g)
+          (DELAY (ABSOLUTE
+            (IOPATH in1 out (2.0::2.0) (2.0::2.0))
+            (IOPATH in0 out (1.0::1.0) (1.0::1.0))
+          )))
+        )"""
+        delays = parse_sdf(text)
+        assert delays["g"] == [(1.0, 1.0), (2.0, 2.0)]
+
+    def test_unsupported_pin_name(self):
+        text = """(DELAYFILE (CELL (CELLTYPE "X") (INSTANCE g)
+          (DELAY (ABSOLUTE (IOPATH A out (1::1) (1::1)))) ))"""
+        with pytest.raises(SdfParseError, match="unsupported IOPATH"):
+            parse_sdf(text)
+
+    def test_cell_without_instance(self):
+        with pytest.raises(SdfParseError, match="INSTANCE"):
+            parse_sdf("(DELAYFILE (CELL (CELLTYPE \"X\")))")
+
+    def test_bad_delay_value(self):
+        text = """(DELAYFILE (CELL (CELLTYPE "X") (INSTANCE g)
+          (DELAY (ABSOLUTE (IOPATH in0 out (oops::1) (1::1)))) ))"""
+        with pytest.raises(SdfParseError):
+            parse_sdf(text)
+
+
+class TestApply:
+    def test_strict_unknown_instance(self, tiny_circuit):
+        text = """(DELAYFILE (CELL (CELLTYPE "X") (INSTANCE ghost)
+          (DELAY (ABSOLUTE (IOPATH in0 out (1::1) (1::1)))) ))"""
+        with pytest.raises(SdfParseError, match="not in circuit"):
+            apply_sdf(tiny_circuit, text)
+        assert apply_sdf(tiny_circuit, text, strict=False) == 0
+
+    def test_strict_pin_mismatch(self, tiny_circuit):
+        text = """(DELAYFILE (CELL (CELLTYPE "X") (INSTANCE G1)
+          (DELAY (ABSOLUTE (IOPATH in0 out (1::1) (1::1)))) ))"""
+        with pytest.raises(SdfParseError, match="pins"):
+            apply_sdf(tiny_circuit, text)  # G1 is a 2-input NAND

@@ -1,0 +1,129 @@
+"""Tests for the set-covering solvers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scheduling.setcover import (
+    CoverProblem,
+    branch_and_bound_cover,
+    greedy_cover,
+    ilp_cover,
+)
+
+
+def problem(*subsets):
+    return CoverProblem(subsets=[frozenset(s) for s in subsets])
+
+
+class TestCoverProblem:
+    def test_universe_inferred(self):
+        p = problem({1, 2}, {3})
+        assert p.universe == frozenset({1, 2, 3})
+
+    def test_uncoverable_universe_rejected(self):
+        with pytest.raises(ValueError, match="not coverable"):
+            CoverProblem(subsets=[frozenset({1})],
+                         universe=frozenset({1, 2}))
+
+    def test_required_count(self):
+        p = problem({1}, {2}, {3}, {4})
+        assert p.required_count(1.0) == 4
+        assert p.required_count(0.5) == 2
+        assert p.required_count(0.51) == 3
+        with pytest.raises(ValueError):
+            p.required_count(0.0)
+
+    def test_covered_by(self):
+        p = problem({1, 2}, {2, 3})
+        assert p.covered_by([1]) == frozenset({2, 3})
+
+
+class TestGreedy:
+    def test_simple(self):
+        p = problem({1, 2, 3}, {1}, {4})
+        chosen = greedy_cover(p)
+        assert p.covered_by(chosen) == p.universe
+
+    def test_partial_coverage(self):
+        p = problem({1, 2, 3, 4}, {5}, {6})
+        chosen = greedy_cover(p, coverage=0.6)
+        assert len(p.covered_by(chosen)) >= 4
+
+    def test_greedy_suboptimal_instance(self):
+        # Classic instance where greedy picks 3 sets but optimum is 2.
+        p = problem({1, 2, 3, 4}, {5, 6, 7}, {1, 2, 5, 6}, {3, 4, 7})
+        greedy = greedy_cover(p)
+        exact = ilp_cover(p)
+        assert len(exact) <= len(greedy)
+        assert len(exact) == 2
+
+
+class TestIlp:
+    def test_optimal_small(self):
+        p = problem({1, 2}, {2, 3}, {1, 3}, {1, 2, 3})
+        assert len(ilp_cover(p)) == 1
+
+    def test_feasible_cover(self):
+        p = problem({1, 2}, {3}, {4, 5}, {2, 3, 4})
+        chosen = ilp_cover(p)
+        assert p.covered_by(chosen) == p.universe
+
+    def test_partial_coverage_counts(self):
+        p = problem({1}, {2}, {3}, {4}, {5})
+        chosen = ilp_cover(p, coverage=0.6)
+        assert len(chosen) == 3  # each subset covers exactly one element
+
+    def test_empty_problem(self):
+        assert ilp_cover(CoverProblem(subsets=[])) == []
+
+
+class TestBranchAndBound:
+    def test_matches_ilp_on_small_instances(self):
+        p = problem({1, 2, 3, 4}, {5, 6, 7}, {1, 2, 5, 6}, {3, 4, 7},
+                    {1, 5}, {2, 6})
+        assert len(branch_and_bound_cover(p)) == len(ilp_cover(p))
+
+    def test_returns_greedy_when_budget_exhausted(self):
+        p = problem({1, 2}, {2, 3}, {3, 1})
+        chosen = branch_and_bound_cover(p, max_nodes=1)
+        assert p.covered_by(chosen) == p.universe
+
+
+# ----------------------------------------------------------------------
+# Property: all three solvers return feasible covers; exact ones agree on
+# cardinality and are never worse than greedy.
+# ----------------------------------------------------------------------
+@st.composite
+def random_problems(draw):
+    n_elements = draw(st.integers(1, 10))
+    n_subsets = draw(st.integers(1, 8))
+    subsets = []
+    for _ in range(n_subsets):
+        s = draw(st.sets(st.integers(0, n_elements - 1), min_size=1))
+        subsets.append(frozenset(s))
+    # Guarantee coverability.
+    subsets.append(frozenset(range(n_elements)))
+    return CoverProblem(subsets=subsets)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_problems())
+def test_property_solvers_agree(p):
+    greedy = greedy_cover(p)
+    exact_ilp = ilp_cover(p)
+    exact_bb = branch_and_bound_cover(p)
+    for chosen in (greedy, exact_ilp, exact_bb):
+        assert p.covered_by(chosen) >= p.universe
+    assert len(exact_ilp) == len(exact_bb)
+    assert len(exact_ilp) <= len(greedy)
+
+
+@settings(max_examples=20, deadline=None)
+@given(random_problems(), st.floats(min_value=0.3, max_value=1.0))
+def test_property_partial_coverage_feasible(p, coverage):
+    chosen = ilp_cover(p, coverage=coverage)
+    assert len(p.covered_by(chosen)) >= p.required_count(coverage)
+    # Partial cover never needs more subsets than a full cover.
+    assert len(chosen) <= len(ilp_cover(p))

@@ -1,0 +1,134 @@
+"""Tests for detection-range shifting math (Sec. III-B)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.monitors.monitor import MonitorConfigSet
+from repro.monitors.shifting import (
+    detecting_configs,
+    observable_range,
+    range_for_config,
+    recoverable_below_window,
+    shifted_union,
+)
+from repro.utils.intervals import IntervalSet
+
+
+T_NOM = 300.0
+T_MIN = 100.0
+CONFIGS = MonitorConfigSet.paper_default(T_NOM)
+
+
+def iset(*pairs):
+    return IntervalSet.from_pairs(pairs)
+
+
+class TestShiftedUnion:
+    def test_single_config(self):
+        out = shifted_union(iset((50, 70)), [100.0])
+        assert out == iset((150, 170))
+
+    def test_multiple_configs_union(self):
+        out = shifted_union(iset((50, 70)), [10.0, 100.0])
+        assert out == iset((60, 80), (150, 170))
+
+    def test_empty_configs(self):
+        assert shifted_union(iset((50, 70)), []).is_empty
+
+
+class TestObservableRange:
+    def test_recovers_subwindow_effects(self):
+        """The paper's headline mechanism: effects in (0, t_nom/3) shifted
+        into the window by d = t_nom/3."""
+        i_mon = iset((50, 70))  # far below t_min = 100
+        i_all = i_mon  # same observation point only
+        no_mon = observable_range(i_all, IntervalSet.empty(), CONFIGS,
+                                  T_MIN, T_NOM)
+        assert no_mon.is_empty
+        with_mon = observable_range(i_all, i_mon, CONFIGS, T_MIN, T_NOM)
+        assert not with_mon.is_empty
+        # d = 45 lands partially in the window ([95,115] → [100,115]) and
+        # d = 100 fully recovers the effect as [150, 170].
+        assert with_mon == iset((100, 115), (150, 170))
+
+    def test_ff_range_always_included(self):
+        i_all = iset((150, 200))
+        out = observable_range(i_all, IntervalSet.empty(), CONFIGS,
+                               T_MIN, T_NOM)
+        assert out == i_all
+
+    def test_clipping(self):
+        i_all = iset((50, 400))
+        out = observable_range(i_all, IntervalSet.empty(), (), T_MIN, T_NOM)
+        assert out == iset((T_MIN, T_NOM))
+
+    def test_range_for_single_config(self):
+        i_mon = iset((80, 95))
+        out = range_for_config(IntervalSet.empty(), i_mon, 15.0, T_MIN, T_NOM)
+        assert out == iset((100, 110))
+
+
+class TestDetectingConfigs:
+    def test_selects_matching_delays(self):
+        i_mon = iset((80, 95))
+        # period 120: need shift d with 120 in [80+d, 95+d] → d in [25, 40].
+        hits = detecting_configs(i_mon, CONFIGS, 120.0, t_min=T_MIN, t_nom=T_NOM)
+        assert hits == [1]  # 0.1 * 300 = 30
+
+    def test_period_outside_window_empty(self):
+        i_mon = iset((80, 95))
+        assert detecting_configs(i_mon, CONFIGS, 50.0,
+                                 t_min=T_MIN, t_nom=T_NOM) == []
+
+
+class TestRecoverable:
+    def test_full_recovery_with_third_delay(self):
+        # Everything in (0, t_min) is recoverable with d = t_nom/3 when the
+        # shifted copy lands inside the window.
+        hidden = iset((20, 90))
+        rec = recoverable_below_window(hidden, CONFIGS, T_MIN, T_NOM)
+        assert rec.measure == pytest.approx(hidden.measure)
+
+    def test_nothing_to_recover(self):
+        inside = iset((150, 200))
+        rec = recoverable_below_window(inside, CONFIGS, T_MIN, T_NOM)
+        assert rec.is_empty
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+pairs = st.tuples(st.floats(0, 280, allow_nan=False),
+                  st.floats(0, 280, allow_nan=False))
+
+
+@st.composite
+def ranges(draw):
+    ps = draw(st.lists(pairs, max_size=5))
+    return IntervalSet.from_pairs((min(a, b), max(a, b)) for a, b in ps)
+
+
+@given(ranges(), ranges())
+def test_observable_range_monotone_in_ff_range(extra, mon):
+    base = observable_range(IntervalSet.empty(), mon, CONFIGS, T_MIN, T_NOM)
+    more = observable_range(extra, mon, CONFIGS, T_MIN, T_NOM)
+    assert (base - more).measure == pytest.approx(0.0, abs=1e-6)
+
+
+@given(ranges())
+def test_more_configs_never_shrink(mon):
+    few = observable_range(IntervalSet.empty(), mon, CONFIGS.delays[:1],
+                           T_MIN, T_NOM)
+    many = observable_range(IntervalSet.empty(), mon, CONFIGS.delays,
+                            T_MIN, T_NOM)
+    assert (few - many).measure == pytest.approx(0.0, abs=1e-6)
+
+
+@given(ranges())
+def test_result_always_within_window(mon):
+    out = observable_range(mon, mon, CONFIGS, T_MIN, T_NOM)
+    for iv in out:
+        assert iv.lo >= T_MIN - 1e-9
+        assert iv.hi <= T_NOM + 1e-9

@@ -1,0 +1,126 @@
+"""Tests for static timing analysis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netlist.circuit import Circuit, GateKind
+from repro.simulation.wave_sim import WaveformSimulator
+from repro.timing.sta import CLOCK_MARGIN, run_sta
+
+
+def diamond() -> Circuit:
+    """Two paths of different length reconverging."""
+    c = Circuit("diamond")
+    a = c.add_input("a")
+    long1 = c.add_gate("l1", GateKind.NOT, [a])
+    long2 = c.add_gate("l2", GateKind.NOT, [long1])
+    short = c.add_gate("s1", GateKind.BUF, [a])
+    top = c.add_gate("top", GateKind.AND, [long2, short])
+    c.mark_output(top)
+    return c.finalize()
+
+
+class TestArrivals:
+    def test_requires_finalized(self):
+        c = Circuit("x")
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            run_sta(c)
+
+    def test_chain_arrival_is_sum(self):
+        c = Circuit("chain")
+        prev = c.add_input("a")
+        expected = 0.0
+        gates = []
+        for i in range(4):
+            prev = c.add_gate(f"g{i}", GateKind.NOT, [prev])
+            gates.append(prev)
+        c.mark_output(prev)
+        c.finalize()
+        sta = run_sta(c)
+        for g in gates:
+            gate = c.gates[g]
+            expected += max(gate.pin_delays[0])
+            assert sta.arrival_max[g] == pytest.approx(expected)
+
+    def test_diamond_min_max_differ(self):
+        c = diamond()
+        sta = run_sta(c)
+        top = c.index_of("top")
+        assert sta.arrival_min[top] < sta.arrival_max[top]
+
+    def test_clock_period_margin(self, s27):
+        sta = run_sta(s27)
+        assert sta.clock_period == pytest.approx(
+            CLOCK_MARGIN * sta.critical_path)
+
+    def test_explicit_clock_period(self, s27):
+        sta = run_sta(s27, clock_period=1000.0)
+        assert sta.clock_period == 1000.0
+
+    def test_critical_path_over_observed_gates(self, s27):
+        sta = run_sta(s27)
+        observed = {op.gate for op in s27.observation_points()}
+        assert sta.critical_path == pytest.approx(
+            max(sta.arrival_max[g] for g in observed))
+
+
+class TestSlack:
+    def test_slack_nonnegative_at_margin_clock(self, small_generated):
+        sta = run_sta(small_generated)
+        for g in small_generated.combinational_gates():
+            assert sta.min_slack(g) >= -1e-9
+
+    def test_short_path_has_more_slack(self):
+        c = diamond()
+        sta = run_sta(c)
+        assert sta.max_slack(c.index_of("s1")) > sta.min_slack(c.index_of("l1"))
+
+    def test_slack_decreases_with_depth_on_chain(self):
+        c = Circuit("chain")
+        prev = c.add_input("a")
+        gates = []
+        for i in range(5):
+            prev = c.add_gate(f"g{i}", GateKind.NOT, [prev])
+            gates.append(prev)
+        c.mark_output(prev)
+        c.finalize()
+        sta = run_sta(c)
+        # Single path: every gate shares the same (critical) path slack.
+        slacks = {round(sta.min_slack(g), 6) for g in gates}
+        assert len(slacks) == 1
+
+
+class TestAgainstSimulation:
+    def test_arrival_max_bounds_observed_transitions(self, small_generated):
+        """No simulated transition may occur after the STA worst arrival."""
+        sta = run_sta(small_generated)
+        sim = WaveformSimulator(small_generated, inertial=0.0)
+        rng = random.Random(5)
+        srcs = small_generated.sources()
+        for _ in range(10):
+            v1 = [rng.randint(0, 1) for _ in srcs]
+            v2 = [rng.randint(0, 1) for _ in srcs]
+            res = sim.simulate(v1, v2)
+            for g in small_generated.combinational_gates():
+                last = res.waveforms[g].last_event_time
+                assert last <= sta.arrival_max[g] + 1e-6
+
+    def test_critical_path_reachable_bound(self, s27):
+        sta = run_sta(s27)
+        observed = {op.gate for op in s27.observation_points()}
+        # Structural bound at least as large as any simulated settle time.
+        sim = WaveformSimulator(s27, inertial=0.0)
+        rng = random.Random(6)
+        srcs = s27.sources()
+        worst = 0.0
+        for _ in range(50):
+            v1 = [rng.randint(0, 1) for _ in srcs]
+            v2 = [rng.randint(0, 1) for _ in srcs]
+            res = sim.simulate(v1, v2)
+            worst = max(worst, max(res.waveforms[g].last_event_time
+                                   for g in observed))
+        assert worst <= sta.critical_path + 1e-6

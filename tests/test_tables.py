@@ -1,0 +1,117 @@
+"""Tests for the Table I/II/III experiment drivers on the quick suite.
+
+These are integration tests over the cached suite runner: one expensive
+run shared by all assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import SuiteRunConfig, run_suite
+from repro.experiments.table1 import table1_rows
+from repro.experiments.table2 import table2_rows
+from repro.experiments.table3 import table3_rows
+from repro.experiments.reporting import compare_table1, compare_table2, format_table
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return SuiteRunConfig.quick(with_schedules=True,
+                                with_coverage_schedules=True)
+
+
+@pytest.fixture(scope="module")
+def quick_results(quick_config):
+    return run_suite(quick_config)
+
+
+class TestRunner:
+    def test_all_circuits_present(self, quick_results, quick_config):
+        assert tuple(quick_results) == quick_config.names
+
+    def test_cache_returns_same_objects(self, quick_config, quick_results):
+        again = run_suite(quick_config)
+        for name in quick_config.names:
+            assert again[name] is quick_results[name]
+
+
+class TestTable1(object):
+    def test_rows_shape(self, quick_config):
+        rows = table1_rows(quick_config)
+        assert len(rows) == len(quick_config.names)
+        for row in rows:
+            assert row["prop"] >= row["conv"]
+            assert row["targets"] <= row["prop"]
+            assert row["monitors"] >= 1
+
+    def test_gain_nonnegative(self, quick_config):
+        for row in table1_rows(quick_config):
+            assert row["gain_percent"] >= 0.0
+
+    def test_compare_helper(self, quick_config):
+        cmp_rows = compare_table1(table1_rows(quick_config))
+        assert cmp_rows
+        for row in cmp_rows:
+            assert "paper_gain_percent" in row
+
+
+class TestTable2:
+    def test_rows_shape(self, quick_config):
+        rows = table2_rows(quick_config)
+        for row in rows:
+            assert row["freq_prop"] >= 1
+            assert row["pc_opti"] <= row["pc_orig"]
+            assert 0.0 <= row["pc_reduction_percent"] < 100.0
+
+    def test_ilp_beats_or_matches_heuristic(self, quick_config):
+        for row in table2_rows(quick_config):
+            assert row["freq_prop"] <= row["freq_heur"]
+
+    def test_reduction_in_paper_band(self, quick_config):
+        """The paper reports 73-98 % schedule-size reductions; the
+        reproduction should land in the same regime (>50 %)."""
+        for row in table2_rows(quick_config):
+            assert row["pc_reduction_percent"] > 50.0
+
+    def test_schedules_required(self):
+        with pytest.raises(ValueError):
+            table2_rows(SuiteRunConfig.quick(with_schedules=False))
+
+    def test_compare_helper(self, quick_config):
+        for row in compare_table2(table2_rows(quick_config)):
+            assert row["ilp_beats_heuristic"]
+
+
+class TestTable3:
+    def test_rows_monotone_in_coverage(self, quick_config):
+        for row in table3_rows(quick_config):
+            assert row["F_90"] <= row["F_95"] <= row["F_98"] <= row["F_99"]
+            # |S| is only approximately monotone (see Table III benchmark).
+            assert row["S_90"] <= row["S_99"] + 2
+            assert row["PC_90"] <= row["PC_99"]
+
+    def test_naive_size_formula(self, quick_config, quick_results):
+        for row in table3_rows(quick_config):
+            res = quick_results[row["circuit"]]
+            n_p = len(res.test_set)
+            n_c = len(res.configs)
+            assert row["PC_99"] == n_p * (n_c + 1) * row["F_99"]
+
+    def test_requires_coverage_schedules(self):
+        with pytest.raises(ValueError):
+            table3_rows(SuiteRunConfig.quick(with_schedules=True))
+
+
+class TestFormatting:
+    def test_format_table_alignment(self, quick_config):
+        rows = table1_rows(quick_config)
+        text = format_table(rows, title="Table I")
+        lines = text.splitlines()
+        assert lines[0] == "Table I"
+        assert len(lines) == len(rows) + 3
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([])

@@ -1,0 +1,177 @@
+"""Tests for netlist transformations (decomposition, fanout buffering)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.netlist.circuit import Circuit, GateKind
+from repro.netlist.techmap import buffer_fanouts, decompose_wide_gates
+from repro.netlist.validate import validate_circuit
+from repro.simulation.parallel_sim import BitParallelSimulator
+
+
+def output_vectors(circuit, vectors):
+    """Name-keyed output responses (order-independent equivalence probe)."""
+    sim = BitParallelSimulator(circuit)
+    name_order = sorted(circuit.gates[i].name for i in circuit.sources())
+    by_name = {circuit.gates[i].name: i for i in circuit.sources()}
+    own_vectors = []
+    for vec in vectors:
+        assignment = dict(zip(name_order, vec))
+        own_vectors.append(tuple(
+            assignment[circuit.gates[i].name] for i in circuit.sources()))
+    words, width = sim.pack_vectors(own_vectors)
+    values = sim.simulate(words, width)
+    return {circuit.gates[g].name: values[g] for g in circuit.outputs}
+
+
+def assert_equivalent(a, b, *, n_vectors=64, seed=0):
+    assert {a.gates[i].name for i in a.sources()} == \
+        {b.gates[i].name for i in b.sources()}
+    rng = random.Random(seed)
+    width = len(a.sources())
+    vectors = [tuple(rng.randint(0, 1) for _ in range(width))
+               for _ in range(n_vectors)]
+    assert output_vectors(a, vectors) == output_vectors(b, vectors)
+
+
+class TestDecompose:
+    @pytest.fixture()
+    def wide(self):
+        c = Circuit("wide")
+        ins = [c.add_input(f"i{k}") for k in range(6)]
+        n4 = c.add_gate("n4", GateKind.NAND, ins[:4])
+        o3 = c.add_gate("o3", GateKind.NOR, ins[3:6])
+        x3 = c.add_gate("x3", GateKind.XNOR, [n4, o3])
+        a4 = c.add_gate("a4", GateKind.AND, [n4, o3, x3, ins[0]])
+        c.mark_output(a4)
+        return c.finalize()
+
+    def test_arity_bounded(self, wide):
+        out = decompose_wide_gates(wide, max_arity=2)
+        for g in out.gates:
+            if GateKind.is_combinational(g.kind):
+                assert g.arity <= 2
+
+    def test_functionally_equivalent(self, wide):
+        assert_equivalent(wide, decompose_wide_gates(wide, max_arity=2))
+
+    def test_equivalent_exhaustive(self, wide):
+        out = decompose_wide_gates(wide, max_arity=2)
+        vectors = list(itertools.product((0, 1), repeat=6))
+        assert output_vectors(wide, vectors) == output_vectors(out, vectors)
+
+    def test_sequential_structure_kept(self, s27):
+        out = decompose_wide_gates(s27, max_arity=2)
+        assert out.num_ffs == s27.num_ffs
+        assert len(out.outputs) == len(s27.outputs)
+        assert_equivalent(s27, out)
+
+    def test_generated_circuit_equivalent(self, small_generated):
+        out = decompose_wide_gates(small_generated, max_arity=2)
+        assert_equivalent(small_generated, out)
+        assert validate_circuit(out).ok
+
+    def test_depth_grows(self, wide):
+        out = decompose_wide_gates(wide, max_arity=2)
+        assert out.depth >= wide.depth
+
+    def test_max_arity_validated(self, wide):
+        with pytest.raises(ValueError):
+            decompose_wide_gates(wide, max_arity=1)
+
+    def test_narrow_circuit_unchanged_in_size(self, c17):
+        out = decompose_wide_gates(c17, max_arity=2)
+        assert out.num_gates == c17.num_gates
+
+
+class TestBufferFanouts:
+    @pytest.fixture()
+    def star(self):
+        c = Circuit("star")
+        a = c.add_input("a")
+        b = c.add_input("b")
+        hub = c.add_gate("hub", GateKind.AND, [a, b])
+        sinks = [c.add_gate(f"s{k}", GateKind.NOT, [hub]) for k in range(10)]
+        for s in sinks:
+            c.mark_output(s)
+        return c.finalize()
+
+    def test_fanout_bounded(self, star):
+        out = buffer_fanouts(star, max_fanout=3)
+        for g in out.gates:
+            if GateKind.is_combinational(g.kind):
+                assert len(out.fanouts(g.index)) <= 3, g.name
+
+    def test_functionally_equivalent(self, star):
+        assert_equivalent(star, buffer_fanouts(star, max_fanout=3))
+
+    def test_generated_circuit_equivalent(self, small_generated):
+        out = buffer_fanouts(small_generated, max_fanout=3)
+        assert_equivalent(small_generated, out)
+        assert validate_circuit(out).ok
+
+    def test_light_nets_untouched(self, c17):
+        out = buffer_fanouts(c17, max_fanout=4)
+        assert out.num_gates == c17.num_gates
+
+    def test_max_fanout_validated(self, star):
+        with pytest.raises(ValueError):
+            buffer_fanouts(star, max_fanout=1)
+
+    def test_deep_cascade(self):
+        c = Circuit("mega")
+        a = c.add_input("a")
+        hub = c.add_gate("hub", GateKind.BUF, [a])
+        for k in range(20):
+            c.mark_output(c.add_gate(f"s{k}", GateKind.NOT, [hub]))
+        c.finalize()
+        out = buffer_fanouts(c, max_fanout=2)
+        for g in out.gates:
+            if GateKind.is_combinational(g.kind):
+                assert len(out.fanouts(g.index)) <= 2
+        assert_equivalent(c, out)
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 5), st.integers(2, 4))
+def test_property_decompose_equivalent(seed, max_arity):
+    from repro.circuits.generators import CircuitProfile, generate_circuit
+    profile = CircuitProfile(name=f"d{seed}", n_gates=40, n_ffs=8,
+                             n_inputs=6, n_outputs=3, depth=6, seed=seed)
+    circuit = generate_circuit(profile)
+    out = decompose_wide_gates(circuit, max_arity=max_arity)
+    for g in out.gates:
+        if GateKind.is_combinational(g.kind):
+            assert g.arity <= max(max_arity, 1)
+    assert_equivalent(circuit, out, n_vectors=32, seed=seed)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(0, 5), st.integers(2, 5))
+def test_property_buffering_equivalent(seed, max_fanout):
+    from repro.circuits.generators import CircuitProfile, generate_circuit
+    profile = CircuitProfile(name=f"b{seed}", n_gates=40, n_ffs=8,
+                             n_inputs=6, n_outputs=3, depth=6, seed=seed)
+    circuit = generate_circuit(profile)
+    out = buffer_fanouts(circuit, max_fanout=max_fanout)
+    for g in out.gates:
+        if GateKind.is_combinational(g.kind):
+            assert len(out.fanouts(g.index)) <= max_fanout
+    assert_equivalent(circuit, out, n_vectors=32, seed=seed)
+
+
+class TestFlowAfterTransforms:
+    def test_flow_runs_on_transformed_circuit(self, s27):
+        from repro.core import FlowConfig, HdfTestFlow
+        out = buffer_fanouts(decompose_wide_gates(s27, max_arity=2),
+                             max_fanout=3)
+        result = HdfTestFlow(out, FlowConfig(pattern_cap=8)).run(
+            with_schedules=False)
+        assert result.universe_size > 0

@@ -1,0 +1,74 @@
+"""Tests for transition-fault test generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atpg.transition import (
+    detect_masks,
+    generate_transition_tests,
+    transition_fault_list,
+)
+from repro.simulation.parallel_sim import BitParallelSimulator
+
+
+class TestFaultList:
+    def test_two_per_site(self, c17):
+        faults = transition_fault_list(c17)
+        sites = {f.site for f in faults}
+        assert len(faults) == 2 * len(sites)
+
+
+class TestGeneration:
+    def test_full_coverage_c17(self, c17):
+        res = generate_transition_tests(c17, seed=1)
+        assert res.coverage == 1.0
+        assert not res.aborted
+
+    def test_high_coverage_s27(self, s27):
+        res = generate_transition_tests(s27, seed=1)
+        assert res.coverage >= 0.95
+
+    def test_high_coverage_generated(self, small_generated):
+        res = generate_transition_tests(small_generated, seed=1)
+        assert res.coverage >= 0.9
+
+    def test_deterministic(self, s27):
+        a = generate_transition_tests(s27, seed=4)
+        b = generate_transition_tests(s27, seed=4)
+        assert a.test_set.patterns == b.test_set.patterns
+        assert a.detected == b.detected
+
+    def test_detected_faults_verified_by_simulation(self, s27):
+        res = generate_transition_tests(s27, seed=2)
+        sim = BitParallelSimulator(s27)
+        masks = detect_masks(s27, sim, res.test_set, sorted(res.detected),
+                             seed=2)
+        undetected = [f for f, m in masks.items() if m == 0]
+        assert not undetected
+
+    def test_summary_fields(self, c17):
+        res = generate_transition_tests(c17, seed=1)
+        s = res.summary()
+        assert s["patterns"] == len(res.test_set)
+        assert s["coverage"] == pytest.approx(res.coverage, abs=1e-4)
+
+    def test_restricted_fault_list(self, s27):
+        subset = transition_fault_list(s27)[:10]
+        res = generate_transition_tests(s27, seed=1, faults=subset)
+        assert set(res.faults) == set(subset)
+
+    def test_compaction_keeps_coverage(self, s27):
+        full = generate_transition_tests(s27, seed=3, compact=False)
+        compact = generate_transition_tests(s27, seed=3, compact=True)
+        assert compact.detected == full.detected
+        assert len(compact.test_set) <= len(full.test_set)
+
+    def test_detect_masks_activation_needed(self, c17):
+        """A pattern pair without a launch transition detects nothing."""
+        from repro.atpg.patterns import PatternPair, TestSet
+        width = len(c17.sources())
+        same = TestSet(c17, [PatternPair((0,) * width, (0,) * width)])
+        sim = BitParallelSimulator(c17)
+        masks = detect_masks(c17, sim, same, transition_fault_list(c17))
+        assert all(m == 0 for m in masks.values())

@@ -1,0 +1,59 @@
+"""Tests for fault-universe generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.universe import fault_sites, small_delay_fault_universe
+from repro.netlist.circuit import GateKind
+from repro.timing.variation import fault_size_for_gate
+
+
+class TestSites:
+    def test_one_output_plus_inputs_per_gate(self, tiny_circuit):
+        sites = fault_sites(tiny_circuit)
+        expected = sum(1 + g.arity for g in tiny_circuit.gates
+                       if GateKind.is_combinational(g.kind))
+        assert len(sites) == expected
+
+    def test_no_sites_on_sources(self, tiny_circuit):
+        sites = fault_sites(tiny_circuit)
+        for s in sites:
+            assert GateKind.is_combinational(
+                tiny_circuit.gates[s.gate].kind)
+
+
+class TestUniverse:
+    def test_two_polarities_per_site(self, tiny_circuit):
+        faults = small_delay_fault_universe(tiny_circuit)
+        assert len(faults) == 2 * len(fault_sites(tiny_circuit))
+        by_site = {}
+        for f in faults:
+            by_site.setdefault(f.site, set()).add(f.slow_to_rise)
+        assert all(v == {True, False} for v in by_site.values())
+
+    def test_six_sigma_sizing(self, tiny_circuit):
+        faults = small_delay_fault_universe(tiny_circuit)
+        for f in faults:
+            assert f.delta == pytest.approx(
+                fault_size_for_gate(tiny_circuit, f.site.gate))
+
+    def test_fixed_delta_override(self, tiny_circuit):
+        faults = small_delay_fault_universe(tiny_circuit, delta=42.0)
+        assert all(f.delta == 42.0 for f in faults)
+
+    def test_sites_restriction(self, tiny_circuit):
+        sites = fault_sites(tiny_circuit)[:3]
+        faults = small_delay_fault_universe(tiny_circuit, sites=sites)
+        assert len(faults) == 6
+        assert {f.site for f in faults} == set(sites)
+
+    def test_nonpositive_delta_skipped(self, tiny_circuit):
+        faults = small_delay_fault_universe(tiny_circuit, delta=0.0)
+        assert faults == []
+
+    def test_paper_scale_sanity(self, small_generated):
+        """Fault count ≈ (pins per gate + 1) * 2 * gates, as in Table I."""
+        faults = small_delay_fault_universe(small_generated)
+        gates = small_generated.num_gates
+        assert 4 * gates <= len(faults) <= 10 * gates

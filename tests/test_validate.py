@@ -1,0 +1,73 @@
+"""Tests for netlist validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist.circuit import Circuit, GateKind
+from repro.netlist.validate import validate_circuit
+
+
+class TestValidate:
+    def test_clean_circuit_ok(self, s27):
+        report = validate_circuit(s27)
+        assert report.ok
+        report.raise_on_error()
+
+    def test_generated_circuit_ok(self, small_generated):
+        assert validate_circuit(small_generated).ok
+
+    def test_not_finalized(self):
+        c = Circuit("x")
+        c.add_input("a")
+        report = validate_circuit(c)
+        assert not report.ok
+        assert "not finalized" in report.errors[0]
+
+    def test_no_observation_points(self):
+        c = Circuit("x")
+        a = c.add_input("a")
+        c.add_gate("g", GateKind.NOT, [a])
+        c.finalize()
+        report = validate_circuit(c)
+        assert any("no observation points" in e for e in report.errors)
+
+    def test_dangling_gate_warned(self):
+        c = Circuit("x")
+        a = c.add_input("a")
+        g = c.add_gate("g", GateKind.NOT, [a])
+        c.add_gate("dangle", GateKind.BUF, [a])
+        c.mark_output(g)
+        c.finalize()
+        report = validate_circuit(c)
+        assert report.ok
+        assert any("dangling" in w for w in report.warnings)
+
+    def test_unreaching_input_warned(self):
+        c = Circuit("x")
+        a = c.add_input("a")
+        c.add_input("unused")
+        g = c.add_gate("g", GateKind.NOT, [a])
+        c.mark_output(g)
+        c.finalize()
+        report = validate_circuit(c)
+        assert any("reaches no output" in w for w in report.warnings)
+
+    def test_missing_delays_error(self, tiny_circuit):
+        tiny_circuit.gate_by_name("G1").pin_delays = ()
+        report = validate_circuit(tiny_circuit)
+        assert any("no delays" in e for e in report.errors)
+        with pytest.raises(ValueError, match="invalid netlist"):
+            report.raise_on_error()
+
+    def test_nonpositive_delay_error(self, tiny_circuit):
+        g = tiny_circuit.gate_by_name("G1")
+        g.pin_delays = tuple((0.0, f) for _r, f in g.pin_delays)
+        report = validate_circuit(tiny_circuit)
+        assert any("non-positive" in e for e in report.errors)
+
+    def test_delay_count_mismatch_error(self, tiny_circuit):
+        g = tiny_circuit.gate_by_name("G1")
+        g.pin_delays = g.pin_delays[:1]
+        report = validate_circuit(tiny_circuit)
+        assert any("delay entries" in e for e in report.errors)

@@ -1,0 +1,75 @@
+"""Tests for process variation and fault sizing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.timing.variation import (
+    apply_process_variation,
+    fault_size_for_gate,
+    nominal_gate_delay,
+)
+
+
+class TestFaultSizing:
+    def test_nominal_gate_delay_is_pin_mean(self, tiny_circuit):
+        g = tiny_circuit.gate_by_name("G1")
+        expected = sum(r + f for r, f in g.pin_delays) / (2 * g.arity)
+        assert nominal_gate_delay(tiny_circuit, g.index) == pytest.approx(expected)
+
+    def test_source_has_zero_delay(self, tiny_circuit):
+        a = tiny_circuit.index_of("A")
+        assert nominal_gate_delay(tiny_circuit, a) == 0.0
+
+    def test_six_sigma_default(self, tiny_circuit):
+        g = tiny_circuit.index_of("G1")
+        nominal = nominal_gate_delay(tiny_circuit, g)
+        assert fault_size_for_gate(tiny_circuit, g) == pytest.approx(
+            6 * 0.2 * nominal)
+
+    def test_custom_sigma(self, tiny_circuit):
+        g = tiny_circuit.index_of("G1")
+        assert fault_size_for_gate(
+            tiny_circuit, g, sigma_fraction=0.1, n_sigma=3) == pytest.approx(
+            0.3 * nominal_gate_delay(tiny_circuit, g))
+
+
+class TestProcessVariation:
+    def test_deterministic(self, tiny_circuit, s27):
+        import copy
+        a = copy.deepcopy(s27)
+        b = copy.deepcopy(s27)
+        apply_process_variation(a, seed=42)
+        apply_process_variation(b, seed=42)
+        for ga, gb in zip(a.gates, b.gates):
+            assert ga.pin_delays == gb.pin_delays
+
+    def test_different_seeds_differ(self, s27):
+        import copy
+        a = copy.deepcopy(s27)
+        b = copy.deepcopy(s27)
+        apply_process_variation(a, seed=1)
+        apply_process_variation(b, seed=2)
+        assert any(ga.pin_delays != gb.pin_delays
+                   for ga, gb in zip(a.gates, b.gates))
+
+    def test_delays_stay_positive(self, s27):
+        import copy
+        c = copy.deepcopy(s27)
+        apply_process_variation(c, seed=3, sigma_fraction=0.9)
+        for g in c.gates:
+            for r, f in g.pin_delays:
+                assert r > 0 and f > 0
+
+    def test_spread_magnitude(self, small_generated):
+        import copy
+        c = copy.deepcopy(small_generated)
+        before = {g.index: g.pin_delays for g in c.gates if g.pin_delays}
+        apply_process_variation(c, seed=4, sigma_fraction=0.2, clamp=3.0)
+        ratios = []
+        for idx, delays in before.items():
+            for (r0, _f0), (r1, _f1) in zip(delays, c.gates[idx].pin_delays):
+                ratios.append(r1 / r0)
+        assert min(ratios) >= 1 - 3 * 0.2 - 1e-9
+        assert max(ratios) <= 1 + 3 * 0.2 + 1e-9
+        assert max(ratios) - min(ratios) > 0.1  # actually spread out

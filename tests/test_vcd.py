@@ -1,0 +1,72 @@
+"""Tests for the VCD waveform exporter."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.simulation.vcd import _identifier, save_vcd, write_vcd
+from repro.simulation.wave_sim import WaveformSimulator
+
+
+@pytest.fixture()
+def sim_result(s27):
+    sim = WaveformSimulator(s27)
+    srcs = s27.sources()
+    v1 = [0] * len(srcs)
+    v2 = [1] * len(srcs)
+    return sim.simulate(v1, v2)
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+        for s in ids:
+            assert all(33 <= ord(ch) <= 126 for ch in s)
+
+    def test_compact(self):
+        assert len(_identifier(0)) == 1
+        assert len(_identifier(93)) == 1
+        assert len(_identifier(94)) == 2
+
+
+class TestWriteVcd:
+    def test_header_structure(self, sim_result):
+        text = write_vcd(sim_result, date="2026-07-06")
+        assert "$timescale 1fs $end" in text
+        assert "$scope module s27 $end" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+        assert "2026-07-06" in text
+
+    def test_var_per_gate(self, sim_result):
+        text = write_vcd(sim_result)
+        assert text.count("$var wire 1 ") == len(sim_result.circuit.gates)
+
+    def test_gate_subset(self, sim_result):
+        gates = sim_result.circuit.outputs
+        text = write_vcd(sim_result, gates=gates)
+        assert text.count("$var wire 1 ") == len(gates)
+
+    def test_timestamps_monotonic(self, sim_result):
+        text = write_vcd(sim_result)
+        times = [int(m) for m in re.findall(r"^#(\d+)$", text, re.M)]
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+
+    def test_change_count_matches_waveforms(self, sim_result):
+        gates = list(range(len(sim_result.circuit.gates)))
+        expected = sum(sim_result.waveforms[g].num_transitions
+                       for g in gates)
+        text = write_vcd(sim_result)
+        body = text.split("$end\n", maxsplit=text.count("$end"))[-1]
+        after_dump = text.split("$dumpvars")[1].split("$end", 1)[1]
+        changes = re.findall(r"^[01][!-~]+$", after_dump, re.M)
+        assert len(changes) == expected
+
+    def test_save(self, tmp_path, sim_result):
+        path = tmp_path / "out.vcd"
+        save_vcd(sim_result, path, comment="test dump")
+        assert "test dump" in path.read_text()

@@ -1,0 +1,230 @@
+"""Tests for the topological waveform simulator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.models import FaultSite, SmallDelayFault
+from repro.netlist.bench import parse_bench
+from repro.netlist.circuit import Circuit, GateKind
+from repro.simulation.logic import eval_binary
+from repro.simulation.wave_sim import WaveformSimulator
+
+
+def chain_circuit() -> Circuit:
+    c = Circuit("chain3")
+    a = c.add_input("a")
+    g1 = c.add_gate("g1", GateKind.NOT, [a])
+    g2 = c.add_gate("g2", GateKind.NOT, [g1])
+    g3 = c.add_gate("g3", GateKind.NOT, [g2])
+    c.mark_output(g3)
+    return c.finalize()
+
+
+class TestFaultFree:
+    def test_requires_finalized(self):
+        c = Circuit("x")
+        c.add_input("a")
+        with pytest.raises(ValueError):
+            WaveformSimulator(c)
+
+    def test_pattern_length_checked(self, tiny_circuit):
+        sim = WaveformSimulator(tiny_circuit)
+        with pytest.raises(ValueError, match="pattern length"):
+            sim.simulate([0], [1])
+
+    def test_constant_inputs_no_events(self, tiny_circuit):
+        sim = WaveformSimulator(tiny_circuit)
+        n = len(tiny_circuit.sources())
+        res = sim.simulate([0] * n, [0] * n)
+        for w in res.waveforms:
+            assert w.num_transitions == 0
+
+    def test_chain_delay_accumulates(self):
+        c = chain_circuit()
+        sim = WaveformSimulator(c)
+        res = sim.simulate([0], [1])
+        out = res.waveforms[c.index_of("g3")]
+        assert out.num_transitions == 1
+        t = out.events[0][0]
+        # Three inverters: rising in, so g1 falls, g2 rises, g3 falls.
+        g1, g2, g3 = (c.gate_by_name(n) for n in ("g1", "g2", "g3"))
+        expected = (g1.pin_delays[0][1] + g2.pin_delays[0][0]
+                    + g3.pin_delays[0][1])
+        assert t == pytest.approx(expected)
+
+    def test_final_values_match_static_eval(self, s27):
+        rng = random.Random(0)
+        sim = WaveformSimulator(s27)
+        srcs = s27.sources()
+        for _ in range(20):
+            v1 = [rng.randint(0, 1) for _ in srcs]
+            v2 = [rng.randint(0, 1) for _ in srcs]
+            res = sim.simulate(v1, v2)
+            static = {}
+            for idx in s27.topo_order:
+                g = s27.gates[idx]
+                if GateKind.is_source(g.kind):
+                    static[idx] = v2[srcs.index(idx)]
+                else:
+                    static[idx] = eval_binary(
+                        g.kind, [static[s] for s in g.fanin])
+            for idx in s27.topo_order:
+                assert res.waveforms[idx].final_value == static[idx], \
+                    s27.gates[idx].name
+
+    def test_initial_values_match_launch_static_eval(self, s27):
+        rng = random.Random(1)
+        sim = WaveformSimulator(s27)
+        srcs = s27.sources()
+        v1 = [rng.randint(0, 1) for _ in srcs]
+        v2 = [rng.randint(0, 1) for _ in srcs]
+        res = sim.simulate(v1, v2)
+        static = {}
+        for idx in s27.topo_order:
+            g = s27.gates[idx]
+            if GateKind.is_source(g.kind):
+                static[idx] = v1[srcs.index(idx)]
+            else:
+                static[idx] = eval_binary(g.kind, [static[s] for s in g.fanin])
+        for idx in s27.topo_order:
+            assert res.waveforms[idx].initial == static[idx]
+
+    def test_output_waveforms_keys(self, tiny_circuit):
+        sim = WaveformSimulator(tiny_circuit)
+        n = len(tiny_circuit.sources())
+        res = sim.simulate([0] * n, [1] * n)
+        waves = res.output_waveforms()
+        assert set(waves) == {op.name
+                              for op in tiny_circuit.observation_points()}
+
+    def test_no_transition_before_zero(self, small_generated):
+        sim = WaveformSimulator(small_generated)
+        rng = random.Random(2)
+        srcs = small_generated.sources()
+        v1 = [rng.randint(0, 1) for _ in srcs]
+        v2 = [rng.randint(0, 1) for _ in srcs]
+        res = sim.simulate(v1, v2)
+        for w in res.waveforms:
+            for t, _v in w.events:
+                assert t >= 0.0
+
+
+class TestFaultInjection:
+    def fault_at(self, circuit, name, rising, delta, pin=None):
+        gate = circuit.index_of(name)
+        site = FaultSite(gate) if pin is None else FaultSite(gate, pin)
+        return SmallDelayFault(site, slow_to_rise=rising, delta=delta)
+
+    def test_output_fault_delays_transition(self):
+        c = chain_circuit()
+        sim = WaveformSimulator(c)
+        base = sim.simulate([0], [1])
+        fault = self.fault_at(c, "g2", rising=True, delta=50.0)
+        faulty = sim.simulate_fault(base, fault)
+        t0 = base.waveforms[c.index_of("g2")].events[0][0]
+        t1 = faulty.waveforms[c.index_of("g2")].events[0][0]
+        assert t1 == pytest.approx(t0 + 50.0)
+
+    def test_wrong_polarity_fault_is_silent(self):
+        c = chain_circuit()
+        sim = WaveformSimulator(c)
+        base = sim.simulate([0], [1])
+        # g2 rises; a slow-to-fall fault there must not change anything.
+        fault = self.fault_at(c, "g2", rising=False, delta=50.0)
+        faulty = sim.simulate_fault(base, fault)
+        assert faulty.waveforms[c.index_of("g3")] == \
+            base.waveforms[c.index_of("g3")]
+
+    def test_fault_effect_propagates_downstream(self):
+        c = chain_circuit()
+        sim = WaveformSimulator(c)
+        base = sim.simulate([0], [1])
+        fault = self.fault_at(c, "g1", rising=False, delta=30.0)
+        faulty = sim.simulate_fault(base, fault)
+        for name in ("g1", "g2", "g3"):
+            t0 = base.waveforms[c.index_of(name)].events[0][0]
+            t1 = faulty.waveforms[c.index_of(name)].events[0][0]
+            assert t1 == pytest.approx(t0 + 30.0)
+
+    def test_fault_outside_cone_unchanged(self, tiny_circuit):
+        sim = WaveformSimulator(tiny_circuit)
+        srcs = tiny_circuit.sources()
+        base = sim.simulate([0] * len(srcs), [1] * len(srcs))
+        fault = self.fault_at(tiny_circuit, "G2", rising=True, delta=40.0)
+        faulty = sim.simulate_fault(base, fault)
+        # G1 is not in G2's fanout cone.
+        assert faulty.waveforms[tiny_circuit.index_of("G1")] is \
+            base.waveforms[tiny_circuit.index_of("G1")]
+
+    def test_input_pin_fault_affects_single_branch(self):
+        # B fans out to two gates; a branch fault on one gate's pin must not
+        # touch the other branch.
+        src = """
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(y1)
+        OUTPUT(y2)
+        y1 = AND(a, b)
+        y2 = OR(a, b)
+        """
+        c = parse_bench(src, name="branch")
+        sim = WaveformSimulator(c)
+        base = sim.simulate([1, 0], [1, 1])  # b rises
+        y1_gate = c.index_of("y1")
+        pin_of_b = list(c.gates[y1_gate].fanin).index(c.index_of("b"))
+        fault = SmallDelayFault(FaultSite(y1_gate, pin_of_b),
+                                slow_to_rise=True, delta=25.0)
+        faulty = sim.simulate_fault(base, fault)
+        assert faulty.waveforms[c.index_of("y2")] == \
+            base.waveforms[c.index_of("y2")]
+        t0 = base.waveforms[y1_gate].events[0][0]
+        t1 = faulty.waveforms[y1_gate].events[0][0]
+        assert t1 == pytest.approx(t0 + 25.0)
+
+    def test_small_fault_filtered_by_inertia(self):
+        # A fault smaller than the inertial threshold that creates only a
+        # sub-threshold pulse gets filtered out.
+        c = chain_circuit()
+        sim = WaveformSimulator(c, inertial=5.0)
+        base = sim.simulate([0], [1])
+        fault = self.fault_at(c, "g3", rising=False, delta=60.0)
+        faulty = sim.simulate_fault(base, fault)
+        # The delayed transition still occurs (single edge, no pulse).
+        assert faulty.waveforms[c.index_of("g3")].num_transitions == 1
+
+    def test_fault_free_waveforms_never_mutated(self, s27):
+        sim = WaveformSimulator(s27)
+        srcs = s27.sources()
+        rng = random.Random(3)
+        v1 = [rng.randint(0, 1) for _ in srcs]
+        v2 = [rng.randint(0, 1) for _ in srcs]
+        base = sim.simulate(v1, v2)
+        snapshot = list(base.waveforms)
+        fault = SmallDelayFault(FaultSite(s27.index_of("G9")), True, 40.0)
+        sim.simulate_fault(base, fault)
+        assert base.waveforms == snapshot
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**10 - 1), st.integers(0, 2**10 - 1))
+def test_property_final_value_matches_static(v1bits, v2bits):
+    """Waveform final values equal the static evaluation of v2 on s27."""
+    from repro.circuits.library import embedded_circuit
+    c = embedded_circuit("s27")
+    srcs = c.sources()
+    v1 = [(v1bits >> i) & 1 for i in range(len(srcs))]
+    v2 = [(v2bits >> i) & 1 for i in range(len(srcs))]
+    sim = WaveformSimulator(c)
+    res = sim.simulate(v1, v2)
+    static = {}
+    for idx in c.topo_order:
+        g = c.gates[idx]
+        if GateKind.is_source(g.kind):
+            static[idx] = v2[srcs.index(idx)]
+        else:
+            static[idx] = eval_binary(g.kind, [static[s] for s in g.fanin])
+    assert all(res.waveforms[i].final_value == static[i] for i in c.topo_order)

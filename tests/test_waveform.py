@@ -1,0 +1,263 @@
+"""Unit and property tests for transition-list waveforms."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simulation.waveform import Waveform
+
+
+class TestConstruction:
+    def test_constant(self):
+        w = Waveform.constant(1)
+        assert w.initial == 1
+        assert w.final_value == 1
+        assert w.num_transitions == 0
+
+    def test_step(self):
+        w = Waveform.step(0, 5.0)
+        assert w.value_at(4.9) == 0
+        assert w.value_at(5.0) == 1
+        assert w.final_value == 1
+
+    def test_bad_initial_raises(self):
+        with pytest.raises(ValueError):
+            Waveform(2)
+
+    def test_bad_event_value_raises(self):
+        with pytest.raises(ValueError):
+            Waveform(0, [(1.0, 7)])
+
+    def test_canonicalization_drops_noops(self):
+        w = Waveform(0, [(1.0, 0), (2.0, 1), (3.0, 1)])
+        assert w.events == ((2.0, 1),)
+
+    def test_canonicalization_sorts(self):
+        w = Waveform(0, [(3.0, 0), (1.0, 1)])
+        assert w.events == ((1.0, 1), (3.0, 0))
+
+    def test_same_time_last_wins(self):
+        w = Waveform(0, [(1.0, 1), (1.0, 0)])
+        assert w.events == ()
+
+    def test_alternating_invariant(self):
+        w = Waveform(0, [(1, 1), (2, 1), (3, 0), (4, 0), (5, 1)])
+        values = [v for _t, v in w.events]
+        assert values == [1, 0, 1]
+
+
+class TestQueries:
+    def test_value_at_sequence(self):
+        w = Waveform(0, [(1.0, 1), (2.0, 0), (4.0, 1)])
+        assert [w.value_at(t) for t in (0.5, 1.5, 3.0, 5.0)] == [0, 1, 0, 1]
+
+    def test_last_event_time(self):
+        assert Waveform(0, [(1.0, 1), (7.5, 0)]).last_event_time == 7.5
+        assert Waveform.constant(0).last_event_time == 0.0
+
+    def test_has_transition_polarity(self):
+        w = Waveform(0, [(1.0, 1)])
+        assert w.has_transition()
+        assert w.has_transition(rising=True)
+        assert not w.has_transition(rising=False)
+
+    def test_is_stable_in(self):
+        w = Waveform(0, [(5.0, 1)])
+        assert w.is_stable_in(0.0, 5.0)   # boundary toggle does not count
+        assert not w.is_stable_in(4.0, 6.0)
+
+    def test_sample(self):
+        w = Waveform(0, [(1.0, 1), (3.0, 0)])
+        assert w.sample([0.0, 1.0, 2.0, 3.0, 4.0]) == [0, 1, 1, 0, 0]
+
+
+class TestTransformations:
+    def test_delayed_polarity(self):
+        w = Waveform(0, [(1.0, 1), (5.0, 0)])
+        d = w.delayed(2.0, 0.5)
+        assert d.events == ((3.0, 1), (5.5, 0))
+
+    def test_delayed_reorder_collapses(self):
+        # Huge fall delay pushes the falling edge past the next rising one;
+        # canonicalization keeps a legal alternating sequence.
+        w = Waveform(0, [(1.0, 1), (2.0, 0), (3.0, 1)])
+        d = w.delayed(0.0, 10.0)
+        values = [v for _t, v in d.events]
+        for a, b in zip(values, values[1:]):
+            assert a != b
+
+    def test_shifted(self):
+        w = Waveform(1, [(1.0, 0)])
+        assert w.shifted(4.0).events == ((5.0, 0),)
+
+    def test_inverted(self):
+        w = Waveform(0, [(1.0, 1)])
+        inv = w.inverted()
+        assert inv.initial == 1
+        assert inv.events == ((1.0, 0),)
+
+    def test_inertial_removes_short_pulse(self):
+        w = Waveform(0, [(1.0, 1), (1.4, 0), (5.0, 1)])
+        f = w.inertial_filtered(1.0)
+        assert f.events == ((5.0, 1),)
+
+    def test_inertial_keeps_wide_pulse(self):
+        w = Waveform(0, [(1.0, 1), (3.0, 0)])
+        assert w.inertial_filtered(1.0) == w
+
+    def test_inertial_cascades(self):
+        # Removing one pulse can create a new short pair; filtering iterates.
+        w = Waveform(0, [(1.0, 1), (1.2, 0), (1.4, 1), (9.0, 0)])
+        f = w.inertial_filtered(0.5)
+        values = [v for _t, v in f.events]
+        for a, b in zip(values, values[1:]):
+            assert a != b
+        for (t1, _), (t2, _) in zip(f.events, f.events[1:]):
+            assert t2 - t1 >= 0.5 - 1e-9
+
+
+class TestDiffIntervals:
+    def test_identical_waveforms_no_diff(self):
+        w = Waveform(0, [(1.0, 1)])
+        assert w.diff_intervals(w, 10.0).is_empty
+
+    def test_simple_delay_diff(self):
+        a = Waveform(0, [(1.0, 1)])
+        b = Waveform(0, [(3.0, 1)])
+        d = a.diff_intervals(b, 10.0)
+        assert len(d) == 1
+        assert d.intervals[0].lo == pytest.approx(1.0)
+        assert d.intervals[0].hi == pytest.approx(3.0)
+
+    def test_diff_extends_to_horizon(self):
+        a = Waveform(0, [(1.0, 1)])
+        b = Waveform.constant(0)
+        d = a.diff_intervals(b, 8.0)
+        assert d.intervals[-1].hi == pytest.approx(8.0)
+
+    def test_diff_initial_values(self):
+        a = Waveform(0)
+        b = Waveform(1)
+        d = a.diff_intervals(b, 4.0)
+        assert d.measure == pytest.approx(4.0)
+
+    def test_diff_symmetry(self):
+        a = Waveform(0, [(1.0, 1), (4.0, 0)])
+        b = Waveform(0, [(2.0, 1), (6.0, 0)])
+        assert a.diff_intervals(b, 10.0) == b.diff_intervals(a, 10.0)
+
+
+class TestSequentialSchedule:
+    """Direct tests of the inertial scheduling core (the rule that keeps
+    the waveform and event engines in agreement)."""
+
+    def test_monotone_input_passthrough(self):
+        from repro.simulation.waveform import sequential_schedule
+        events = [(1.0, 1), (10.0, 0), (20.0, 1)]
+        assert sequential_schedule(0, events, 5.0) == events
+
+    def test_reordered_pulse_annihilates(self):
+        from repro.simulation.waveform import sequential_schedule
+        # Rise scheduled at 82.55, fall overtakes it at 80.85: no pulse.
+        assert sequential_schedule(0, [(82.55, 1), (80.85, 0)], 5.0) == []
+
+    def test_narrow_pulse_filtered(self):
+        from repro.simulation.waveform import sequential_schedule
+        assert sequential_schedule(0, [(10.0, 1), (12.0, 0)], 5.0) == []
+
+    def test_wide_pulse_survives(self):
+        from repro.simulation.waveform import sequential_schedule
+        events = [(10.0, 1), (20.0, 0)]
+        assert sequential_schedule(0, events, 5.0) == events
+
+    def test_cancellation_cascades(self):
+        from repro.simulation.waveform import sequential_schedule
+        # Three close transitions: the middle pair cancels, the survivor
+        # must still respect the threshold against what remains.
+        out = sequential_schedule(0, [(10.0, 1), (12.0, 0), (13.0, 1)], 5.0)
+        assert out == [(13.0, 1)]
+
+    def test_no_op_transitions_dropped(self):
+        from repro.simulation.waveform import sequential_schedule
+        assert sequential_schedule(1, [(5.0, 1)], 0.0) == []
+
+    def test_output_spacing_invariant(self):
+        from repro.simulation.waveform import sequential_schedule
+        import random
+        rng = random.Random(0)
+        for _ in range(50):
+            events = [(rng.uniform(0, 100), rng.randint(0, 1))
+                      for _ in range(12)]
+            out = sequential_schedule(0, events, 5.0)
+            for (t1, v1), (t2, v2) in zip(out, out[1:]):
+                assert t2 - t1 >= 5.0 - 1e-9
+                assert v1 != v2
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+times = st.floats(min_value=0.0, max_value=1000.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def waveforms(draw):
+    initial = draw(st.integers(0, 1))
+    events = draw(st.lists(st.tuples(times, st.integers(0, 1)), max_size=10))
+    return Waveform(initial, events)
+
+
+@given(waveforms())
+def test_events_strictly_alternate(w):
+    prev = w.initial
+    prev_t = -1.0
+    for t, v in w.events:
+        assert v != prev
+        assert t > prev_t
+        prev, prev_t = v, t
+
+
+@given(waveforms(), times)
+def test_shift_preserves_transition_count(w, d):
+    assert w.shifted(d).num_transitions == w.num_transitions
+
+
+@given(waveforms())
+def test_double_inversion_is_identity(w):
+    assert w.inverted().inverted() == w
+
+
+@given(waveforms(), st.floats(min_value=0.1, max_value=50))
+def test_inertial_filter_never_adds_transitions(w, th):
+    assert w.inertial_filtered(th).num_transitions <= w.num_transitions
+
+
+@given(waveforms(), st.floats(min_value=0.1, max_value=50))
+def test_inertial_filter_preserves_endpoints(w, th):
+    f = w.inertial_filtered(th)
+    assert f.initial == w.initial
+    # A filtered pulse pair never changes the settled value.
+    assert f.final_value == w.final_value
+
+
+@given(waveforms(), waveforms())
+def test_diff_intervals_symmetric(a, b):
+    assert a.diff_intervals(b, 1000.0) == b.diff_intervals(a, 1000.0)
+
+
+@given(waveforms(), waveforms(), times)
+def test_diff_matches_pointwise(a, b, t):
+    d = a.diff_intervals(b, 1000.0)
+    if d.contains(t, tol=0.0) and not any(
+            abs(t - boundary) < 1e-6 for boundary in d.boundaries()):
+        assert a.value_at(t) != b.value_at(t)
+
+
+@given(waveforms(), st.floats(min_value=0, max_value=100),
+       st.floats(min_value=0, max_value=100))
+def test_delayed_moves_events_forward(w, dr, df):
+    d = w.delayed(dr, df)
+    if w.events and d.events:
+        assert d.events[0][0] >= w.events[0][0] - 1e-9

@@ -27,6 +27,12 @@ _PROFILE = os.environ.get("REPRO_BENCH_SUITE", "quick")
 RESULTS_DIR = (Path(__file__).resolve().parent.parent / "results"
                / ("full" if _PROFILE == "full" else "quick"))
 
+#: Machine-readable fault-simulation perf trajectory (see EXPERIMENTS.md):
+#: written by test_bench_detection.py, consumed by the perf smoke test in
+#: tests/test_perf_smoke.py and by future PRs comparing against it.
+BENCH_DETECTION_FILE = (Path(__file__).resolve().parent.parent
+                        / "BENCH_detection.json")
+
 
 def _suite_config(**overrides) -> SuiteRunConfig:
     if _PROFILE == "full":

@@ -43,6 +43,9 @@ class FlowConfig:
     ilp_time_limit: float = DEFAULT_TIME_LIMIT_S
     #: Worker processes for the fault simulation (1 = in-process).
     simulation_jobs: int = 1
+    #: Fault-simulation engine: "incremental" (default) or "reference"
+    #: (seed full-cone resweep; bit-identical, kept for cross-checking).
+    simulation_engine: str = "incremental"
     #: Coverage targets for Table III style relaxed schedules.
     coverage_targets: tuple[float, ...] = field(default=(0.99, 0.98, 0.95, 0.90))
 
@@ -55,5 +58,8 @@ class FlowConfig:
             raise ValueError("pattern_cap must be positive when given")
         if self.simulation_jobs < 1:
             raise ValueError("simulation_jobs must be >= 1")
+        if self.simulation_engine not in ("incremental", "reference"):
+            raise ValueError(
+                f"unknown simulation_engine {self.simulation_engine!r}")
         if any(not 0.0 < c <= 1.0 for c in self.coverage_targets):
             raise ValueError("coverage targets must lie in (0, 1]")

@@ -38,6 +38,7 @@ from repro.scheduling.baselines import (
 )
 from repro.timing.clock import ClockSpec
 from repro.timing.sta import run_sta
+from repro.utils.profiling import StageTimer
 
 
 class HdfTestFlow:
@@ -54,12 +55,14 @@ class HdfTestFlow:
             test_set: TestSet | None = None,
             with_schedules: bool = True,
             with_coverage_schedules: bool = False,
-            progress: Callable[[str], None] | None = None) -> FlowResult:
+            progress: Callable[[str], None] | None = None,
+            timer: StageTimer | None = None) -> FlowResult:
         """Execute the flow and return a :class:`FlowResult`.
 
         ``test_set`` bypasses the built-in ATPG (e.g. to replay an external
         pattern set); ``with_coverage_schedules`` additionally optimizes the
-        relaxed-coverage schedules of Table III.
+        relaxed-coverage schedules of Table III.  ``timer`` collects the
+        per-stage wall-clock split of the fault simulation.
         """
         cfg = self.config
         note = progress or (lambda _msg: None)
@@ -105,7 +108,9 @@ class HdfTestFlow:
             horizon=clock.t_nom,
             monitored_gates=placement.monitored_gates,
             inertial=cfg.inertial_ps,
-            jobs=cfg.simulation_jobs)
+            jobs=cfg.simulation_jobs,
+            engine=cfg.simulation_engine,
+            timer=timer)
 
         # -- Step 5: classification / target faults -----------------------
         note("fault classification")

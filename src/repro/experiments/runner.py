@@ -16,6 +16,7 @@ from repro.circuits.library import QUICK_SUITE_NAMES, paper_suite, suite_circuit
 from repro.core.config import FlowConfig
 from repro.core.flow import HdfTestFlow
 from repro.core.results import FlowResult
+from repro.utils.profiling import StageTimer
 
 
 def _default_jobs() -> int:
@@ -58,8 +59,13 @@ def clear_cache() -> None:
 
 
 def run_suite(config: SuiteRunConfig | None = None,
-              *, progress: bool = False) -> dict[str, FlowResult]:
-    """Run (or fetch cached) flow results for every circuit of the config."""
+              *, progress: bool = False,
+              timer: StageTimer | None = None) -> dict[str, FlowResult]:
+    """Run (or fetch cached) flow results for every circuit of the config.
+
+    ``timer`` accumulates the fault-simulation stage split across all
+    circuits actually executed (cache hits contribute nothing).
+    """
     cfg = config or SuiteRunConfig()
     entry = _CACHE.setdefault(cfg, _CacheEntry())
     suite = {e.name: e for e in paper_suite(list(cfg.names))}
@@ -79,5 +85,5 @@ def run_suite(config: SuiteRunConfig | None = None,
         entry.results[name] = HdfTestFlow(circuit, flow_config).run(
             with_schedules=cfg.with_schedules,
             with_coverage_schedules=cfg.with_coverage_schedules,
-            progress=note)
+            progress=note, timer=timer)
     return {name: entry.results[name] for name in cfg.names}

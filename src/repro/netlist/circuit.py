@@ -139,8 +139,13 @@ class Circuit:
         self._by_name: dict[str, int] = {}
         self._finalized = False
         self._topo: list[int] = []
+        self._topo_pos: list[int] = []
         self._fanouts: list[list[tuple[int, int]]] = []
         self._levels: list[int] = []
+        # Structural memo caches (safe: finalize() freezes the structure).
+        self._fanout_cone_cache: dict[int, frozenset[int]] = {}
+        self._fanin_cone_cache: dict[int, frozenset[int]] = {}
+        self._cone_schedule_cache: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -269,6 +274,9 @@ class Circuit:
             raise ValueError(
                 f"combinational cycle in {self.name!r} involving: {stuck[:8]}")
         self._topo = order
+        self._topo_pos = [0] * n
+        for pos, idx in enumerate(order):
+            self._topo_pos[idx] = pos
 
     def _compute_fanouts(self) -> None:
         self._fanouts = [[] for _ in self.gates]
@@ -365,9 +373,28 @@ class Circuit:
         )
         return points
 
-    def fanout_cone(self, gate: int) -> set[int]:
-        """All gates reachable from ``gate`` through combinational edges."""
+    def topo_position(self, gate: int) -> int:
+        """Position of ``gate`` in :attr:`topo_order` (O(1) lookup)."""
         self._require_finalized()
+        return self._topo_pos[gate]
+
+    @property
+    def topo_positions(self) -> list[int]:
+        """Topological position per gate index (for sort keys)."""
+        self._require_finalized()
+        return self._topo_pos
+
+    def fanout_cone(self, gate: int) -> frozenset[int]:
+        """All gates reachable from ``gate`` through combinational edges.
+
+        Memoized on the finalized circuit — the structure is frozen, so the
+        cone of a site never changes and the fault simulators query it once
+        per (fault, pattern) pair otherwise.
+        """
+        self._require_finalized()
+        cached = self._fanout_cone_cache.get(gate)
+        if cached is not None:
+            return cached
         cone: set[int] = set()
         stack = [gate]
         while stack:
@@ -376,11 +403,19 @@ class Circuit:
                 if v not in cone and self.gates[v].kind != GateKind.DFF:
                     cone.add(v)
                     stack.append(v)
-        return cone
+        result = frozenset(cone)
+        self._fanout_cone_cache[gate] = result
+        return result
 
-    def fanin_cone(self, gate: int) -> set[int]:
-        """All combinational gates/sources feeding ``gate`` (inclusive)."""
+    def fanin_cone(self, gate: int) -> frozenset[int]:
+        """All combinational gates/sources feeding ``gate`` (inclusive).
+
+        Memoized on the finalized circuit, like :meth:`fanout_cone`.
+        """
         self._require_finalized()
+        cached = self._fanin_cone_cache.get(gate)
+        if cached is not None:
+            return cached
         cone = {gate}
         stack = [gate]
         while stack:
@@ -391,7 +426,26 @@ class Circuit:
                 if src not in cone:
                     cone.add(src)
                     stack.append(src)
-        return cone
+        result = frozenset(cone)
+        self._fanin_cone_cache[gate] = result
+        return result
+
+    def cone_schedule(self, gate: int) -> tuple[int, ...]:
+        """Fanout cone of ``gate`` as a topologically-sorted tuple.
+
+        This is the per-site evaluation schedule of the incremental fault
+        simulator: only these gates can differ from the fault-free
+        simulation, and visiting them in topological order guarantees every
+        fanin is settled before a gate is evaluated.
+        """
+        self._require_finalized()
+        cached = self._cone_schedule_cache.get(gate)
+        if cached is None:
+            pos = self._topo_pos
+            cached = tuple(sorted(self.fanout_cone(gate),
+                                  key=pos.__getitem__))
+            self._cone_schedule_cache[gate] = cached
+        return cached
 
     def iter_gates(self) -> Iterator[Gate]:
         return iter(self.gates)

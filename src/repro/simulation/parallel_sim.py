@@ -74,6 +74,34 @@ class BitParallelSimulator:
                 g.kind, [words[s] for s in g.fanin], mask)
         return words
 
+    def activity_words(self, source_toggle_words: Mapping[int, int],
+                       width: int) -> list[int]:
+        """Transitive toggle activity per gate (one bit per pattern).
+
+        ``source_toggle_words`` maps source gate index → packed word whose
+        bit ``p`` is set when the source toggles between the launch and
+        capture vector of pattern ``p``.  The word is OR-propagated through
+        the combinational DAG: bit ``p`` of gate ``g`` is set iff *some*
+        source in the fanin cone of ``g`` toggles under pattern ``p``.
+
+        A clear bit is a guarantee: the waveform at ``g`` is constant under
+        that pattern (no transition of either polarity, hazards included),
+        which is what the activation pre-grading pass of the fault
+        simulator prunes on.  A set bit only means the waveform *may*
+        toggle (logic masking can still keep it constant).
+        """
+        mask = (1 << width) - 1
+        words = [0] * len(self.circuit.gates)
+        for idx, w in source_toggle_words.items():
+            words[idx] = w & mask
+        gates = self.circuit.gates
+        for idx in self._order:
+            acc = 0
+            for s in gates[idx].fanin:
+                acc |= words[s]
+            words[idx] = acc
+        return words
+
     def pack_vectors(self, vectors: Sequence[Sequence[int]]) -> tuple[dict[int, int], int]:
         """Pack per-pattern source vectors into words.
 

@@ -42,6 +42,24 @@ class Waveform:
         """Single transition from ``initial`` to its complement at time ``at``."""
         return cls(initial, [(at, 1 - initial)])
 
+    @classmethod
+    def from_canonical(cls, initial: int,
+                       events: tuple[tuple[float, int], ...]) -> "Waveform":
+        """Construct from events already in canonical form, skipping
+        :func:`_canonicalize`.
+
+        Callers must guarantee the invariants (time-sorted with gaps
+        ``> EPS``, strictly alternating values starting opposite
+        ``initial``); :func:`sequential_schedule` output with a threshold
+        above ``2·EPS`` satisfies them by construction.  This is the hot
+        constructor of the simulation engine — re-normalizing provably
+        canonical schedules dominated waveform creation otherwise.
+        """
+        w = object.__new__(cls)
+        w.initial = initial
+        w.events = events
+        return w
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -73,10 +91,14 @@ class Waveform:
 
     def has_transition(self, *, rising: bool | None = None) -> bool:
         """True when the waveform toggles (optionally restricted by polarity)."""
+        events = self.events
         if rising is None:
-            return bool(self.events)
-        want = 1 if rising else 0
-        return any(v == want for _, v in self.events)
+            return bool(events)
+        if not events:
+            return False
+        # Canonical events strictly alternate, so a polarity is present
+        # iff the first event has it or there are at least two events.
+        return events[0][1] == (1 if rising else 0) or len(events) >= 2
 
     def is_stable_in(self, lo: float, hi: float) -> bool:
         """True if no transition falls strictly inside ``(lo, hi)``.
@@ -106,8 +128,7 @@ class Waveform:
             return self
         moved = [(t + (d_rise if v == 1 else d_fall), v)
                  for t, v in self.events]
-        return Waveform(self.initial,
-                        sequential_schedule(self.initial, moved, inertial))
+        return scheduled_waveform(self.initial, moved, inertial)
 
     def shifted(self, d: float) -> "Waveform":
         """Uniform translation by ``d`` (a monitor delay element)."""
@@ -177,13 +198,23 @@ class Waveform:
     # Dunder
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Waveform):
             return NotImplemented
-        if self.initial != other.initial or len(self.events) != len(other.events):
+        if self.initial != other.initial:
+            return False
+        se, oe = self.events, other.events
+        # Fast path: exact tuple equality (the common case — the incremental
+        # fault simulator compares recomputed waveforms against shared
+        # fault-free ones, which are bit-identical when unaffected).
+        if se == oe:
+            return True
+        if len(se) != len(oe):
             return False
         return all(
             abs(ta - tb) <= EPS and va == vb
-            for (ta, va), (tb, vb) in zip(self.events, other.events)
+            for (ta, va), (tb, vb) in zip(se, oe)
         )
 
     def __hash__(self) -> int:
@@ -216,6 +247,21 @@ def sequential_schedule(initial: int,
         if v != last:
             out.append((t, v))
     return out
+
+
+def scheduled_waveform(initial: int,
+                       events: Iterable[tuple[float, int]],
+                       inertial: float = 0.0) -> Waveform:
+    """:func:`sequential_schedule` + :class:`Waveform` in one step.
+
+    When the inertial threshold exceeds ``2·EPS`` the schedule is canonical
+    by construction (strictly increasing times with gaps ``> EPS``,
+    alternating values), so the normalizing constructor is bypassed.
+    """
+    sched = sequential_schedule(initial, events, inertial)
+    if inertial > 2 * EPS:
+        return Waveform.from_canonical(initial, tuple(sched))
+    return Waveform(initial, sched)
 
 
 def _canonicalize(initial: int,

@@ -273,6 +273,44 @@ class IntervalSet:
         return [iv.midpoint for iv in self._ivals]
 
 
+class IntervalAccumulator:
+    """Mutable union builder for :class:`IntervalSet`.
+
+    Repeatedly calling ``a = a.union(b)`` re-normalizes (sorts + merges) the
+    accumulated set on every step — O(n²) over a long reduction.  The
+    accumulator just collects raw intervals and normalizes once in
+    :meth:`build`, which yields the identical canonical ``IntervalSet``
+    (union is associative and the constructor performs the same merge).
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self) -> None:
+        self._parts: list[Interval] = []
+
+    def add(self, intervals: "IntervalSet | Iterable[Interval]") -> None:
+        """Accumulate all intervals of an :class:`IntervalSet` (or iterable)."""
+        if isinstance(intervals, IntervalSet):
+            self._parts.extend(intervals.intervals)
+        else:
+            self._parts.extend(intervals)
+
+    def add_interval(self, lo: float, hi: float) -> None:
+        self._parts.append(Interval(lo, hi))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing was accumulated (build() would be empty too —
+        the constructor can only drop degenerate pieces, never add)."""
+        return not self._parts
+
+    def build(self) -> IntervalSet:
+        """Normalize the accumulated intervals into one IntervalSet."""
+        if not self._parts:
+            return _EMPTY
+        return IntervalSet(self._parts)
+
+
 _EMPTY = IntervalSet()
 
 

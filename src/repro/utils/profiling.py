@@ -1,0 +1,65 @@
+"""Lightweight wall-clock stage profiling for the hot simulation paths.
+
+A :class:`StageTimer` accumulates elapsed seconds (and hit counts) under
+named stages.  The fault-simulation engine feeds it the per-stage split —
+``pregrade`` / ``base_sim`` / ``faulty_sim`` / ``intervals`` — and the
+benchmark suite persists the result to ``BENCH_detection.json`` so every PR
+leaves a machine-readable perf trajectory behind (see EXPERIMENTS.md).
+
+The timer is opt-in and costs two ``perf_counter()`` calls per measured
+block; hot loops guard on ``timer is not None`` so the default path pays
+nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class StageTimer:
+    """Accumulates wall-clock time per named stage."""
+
+    __slots__ = ("totals", "counts")
+
+    def __init__(self) -> None:
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+
+    def add(self, stage: str, seconds: float, *, count: int = 1) -> None:
+        """Credit ``seconds`` (and ``count`` hits) to ``stage``."""
+        self.totals[stage] = self.totals.get(stage, 0.0) + seconds
+        self.counts[stage] = self.counts.get(stage, 0) + count
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager measuring one block."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def total(self, stage: str | None = None) -> float:
+        """Seconds spent in ``stage`` (all stages when None)."""
+        if stage is None:
+            return sum(self.totals.values())
+        return self.totals.get(stage, 0.0)
+
+    def merge(self, other: "StageTimer") -> None:
+        """Fold another timer's stages into this one."""
+        for stage, seconds in other.totals.items():
+            self.add(stage, seconds, count=other.counts.get(stage, 0))
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """JSON-ready ``{stage: {"seconds": s, "count": n}}`` mapping."""
+        return {
+            stage: {"seconds": self.totals[stage],
+                    "count": self.counts.get(stage, 0)}
+            for stage in sorted(self.totals)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v:.4f}s" for k, v in sorted(self.totals.items()))
+        return f"StageTimer({inner})"

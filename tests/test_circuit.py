@@ -157,6 +157,24 @@ class TestQueries:
         names = {tiny_circuit.gates[s].name for s in tiny_circuit.sources()}
         assert names == {"A", "B", "C", "G4", "G6"}
 
+    def test_cone_queries_memoized(self, tiny_circuit):
+        g1 = tiny_circuit.index_of("G1")
+        f = tiny_circuit.index_of("F")
+        assert tiny_circuit.fanout_cone(g1) is tiny_circuit.fanout_cone(g1)
+        assert tiny_circuit.fanin_cone(f) is tiny_circuit.fanin_cone(f)
+        assert tiny_circuit.cone_schedule(g1) is tiny_circuit.cone_schedule(g1)
+
+    def test_cone_schedule_topo_sorted(self, tiny_circuit):
+        g1 = tiny_circuit.index_of("G1")
+        schedule = tiny_circuit.cone_schedule(g1)
+        assert set(schedule) == set(tiny_circuit.fanout_cone(g1))
+        positions = [tiny_circuit.topo_position(g) for g in schedule]
+        assert positions == sorted(positions)
+
+    def test_topo_position_matches_order(self, tiny_circuit):
+        for pos, gate in enumerate(tiny_circuit.topo_order):
+            assert tiny_circuit.topo_position(gate) == pos
+
     def test_queries_require_finalize(self):
         c = Circuit("x")
         c.add_input("a")

@@ -262,3 +262,52 @@ def test_normal_form_disjoint_sorted(s):
     ivs = s.intervals
     for a, b in zip(ivs, ivs[1:]):
         assert a.hi < b.lo - EPS or b.lo - a.hi > EPS
+
+# ----------------------------------------------------------------------
+# IntervalAccumulator
+# ----------------------------------------------------------------------
+class TestIntervalAccumulator:
+    def test_build_equals_repeated_union(self):
+        from repro.utils.intervals import IntervalAccumulator
+
+        sets = [iset((0, 2), (5, 7)), iset((1, 3)), iset((6, 9), (10, 11))]
+        acc = IntervalAccumulator()
+        expected = IntervalSet()
+        for s in sets:
+            acc.add(s)
+            expected = expected.union(s)
+        assert acc.build() == expected
+
+    def test_empty_build_is_canonical_empty(self):
+        from repro.utils.intervals import IntervalAccumulator
+
+        acc = IntervalAccumulator()
+        assert acc.is_empty
+        built = acc.build()
+        assert built.is_empty
+        # Empty accumulators share the module-level empty set.
+        assert built is IntervalAccumulator().build()
+
+    def test_add_interval_and_iterables(self):
+        from repro.utils.intervals import IntervalAccumulator
+
+        acc = IntervalAccumulator()
+        acc.add_interval(0.0, 1.0)
+        acc.add([Interval(0.5, 2.0)])
+        assert not acc.is_empty
+        assert acc.build() == iset((0, 2))
+
+    @given(st.lists(st.lists(
+        st.tuples(st.floats(0, 50), st.floats(0, 50)), max_size=4),
+        max_size=5))
+    def test_property_matches_union(self, groups):
+        from repro.utils.intervals import IntervalAccumulator
+
+        sets = [IntervalSet.from_pairs(
+            [(min(a, b), max(a, b)) for a, b in g]) for g in groups]
+        acc = IntervalAccumulator()
+        expected = IntervalSet()
+        for s in sets:
+            acc.add(s)
+            expected = expected.union(s)
+        assert acc.build() == expected

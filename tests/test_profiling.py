@@ -1,0 +1,65 @@
+"""Tests for the lightweight stage timer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.profiling import StageTimer
+
+
+class TestStageTimer:
+    def test_add_accumulates(self):
+        t = StageTimer()
+        t.add("sim", 0.5)
+        t.add("sim", 0.25, count=3)
+        t.add("io", 1.0)
+        assert t.total("sim") == pytest.approx(0.75)
+        assert t.total() == pytest.approx(1.75)
+        assert t.as_dict()["sim"]["count"] == 4
+
+    def test_unknown_stage_total_is_zero(self):
+        assert StageTimer().total("nope") == 0.0
+
+    def test_stage_context_measures(self):
+        t = StageTimer()
+        with t.stage("work"):
+            sum(range(1000))
+        d = t.as_dict()
+        assert d["work"]["count"] == 1
+        assert d["work"]["seconds"] >= 0.0
+
+    def test_merge(self):
+        a, b = StageTimer(), StageTimer()
+        a.add("x", 1.0)
+        b.add("x", 2.0, count=2)
+        b.add("y", 3.0)
+        a.merge(b)
+        assert a.total("x") == pytest.approx(3.0)
+        assert a.total("y") == pytest.approx(3.0)
+        assert a.as_dict()["x"]["count"] == 3
+
+    def test_as_dict_is_json_friendly(self):
+        import json
+
+        t = StageTimer()
+        t.add("s", 0.125)
+        assert json.loads(json.dumps(t.as_dict())) == t.as_dict()
+
+
+def test_detection_timer_stage_counts(s27):
+    """The detection stage split lands in the documented stage names."""
+    from repro.atpg.transition import generate_transition_tests
+    from repro.faults.detection import compute_detection_data
+    from repro.faults.universe import small_delay_fault_universe
+    from repro.timing.sta import run_sta
+
+    faults = small_delay_fault_universe(s27)
+    ts = generate_transition_tests(s27, seed=3).test_set.filled(seed=3)
+    timer = StageTimer()
+    compute_detection_data(
+        s27, faults, ts, horizon=run_sta(s27).clock_period, timer=timer)
+    d = timer.as_dict()
+    assert set(d) <= {"pregrade", "base_sim", "faulty_sim", "intervals"}
+    assert d["pregrade"]["count"] == 1
+    assert d["base_sim"]["count"] == len(ts)
+    assert d["faulty_sim"]["count"] == d["intervals"]["count"] > 0

@@ -33,6 +33,12 @@ RESULTS_DIR = (Path(__file__).resolve().parent.parent / "results"
 BENCH_DETECTION_FILE = (Path(__file__).resolve().parent.parent
                         / "BENCH_detection.json")
 
+#: Machine-readable schedule-optimization perf trajectory: written by
+#: test_bench_schedule.py (bitset pipeline vs the retained seed reference),
+#: consumed by the perf smoke test and by ``repro bench``.
+BENCH_SCHEDULE_FILE = (Path(__file__).resolve().parent.parent
+                       / "BENCH_schedule.json")
+
 
 def _suite_config(**overrides) -> SuiteRunConfig:
     if _PROFILE == "full":

@@ -9,6 +9,8 @@ Subcommands:
 * ``aging``   — lifetime simulation with monitor alerts and failure
   prediction for a circuit.
 * ``generate``— emit a synthetic benchmark circuit as ``.bench``.
+* ``bench``   — re-measure the perf-baseline workloads and print current
+  vs committed (``BENCH_detection.json`` / ``BENCH_schedule.json``) deltas.
 
 Examples::
 
@@ -18,6 +20,7 @@ Examples::
     python -m repro fig3 s13207
     python -m repro aging s27 --marginal 2
     python -m repro generate demo.bench --gates 200 --ffs 32
+    python -m repro bench --stage schedule
 """
 
 from __future__ import annotations
@@ -167,6 +170,103 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_detection_current(res) -> float:
+    import time
+
+    from repro.faults.detection import compute_detection_data
+
+    best = float("inf")
+    for _ in range(2):       # warm-up + measured (cone caches fill once)
+        t0 = time.perf_counter()
+        compute_detection_data(
+            res.circuit, res.data.faults, res.test_set,
+            horizon=res.clock.t_nom,
+            monitored_gates=res.placement.monitored_gates,
+            inertial=FlowConfig().inertial_ps,
+            engine="incremental")
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_schedule_current(res) -> float:
+    import time
+
+    from repro.scheduling.baselines import conventional_targets
+    from repro.scheduling.schedule import optimize_schedule
+
+    cls_ = res.classification
+    jobs = [(conventional_targets(cls_), None, "ilp", 1.0),
+            (cls_.target, res.configs, "greedy", 1.0),
+            (cls_.target, res.configs, "ilp", 1.0),
+            (cls_.target, res.configs, "ilp", 0.95),
+            (cls_.target, res.configs, "ilp", 0.90)]
+    best = float("inf")
+    for _ in range(2):
+        res.data._sched_cache.clear()
+        res.data._det_range.clear()
+        t0 = time.perf_counter()
+        for targets, configs, solver, cov in jobs:
+            optimize_schedule(res.data, targets, res.clock, configs,
+                              solver=solver, coverage=cov)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.reporting import format_table
+    from repro.experiments.runner import SuiteRunConfig, run_suite
+
+    root = args.root or Path(__file__).resolve().parents[2]
+    stages = {
+        "detection": (root / "BENCH_detection.json", _bench_detection_current),
+        "schedule": (root / "BENCH_schedule.json", _bench_schedule_current),
+    }
+    if args.stage != "all":
+        stages = {args.stage: stages[args.stage]}
+
+    rows = []
+    for stage, (path, measure) in stages.items():
+        if not path.exists():
+            print(f"warning: no committed {path.name}; "
+                  f"run the benchmarks first", file=sys.stderr)
+            continue
+        baseline = json.loads(path.read_text())
+        if baseline.get("profile") != "quick":
+            print(f"warning: {path.name} was recorded with profile "
+                  f"{baseline.get('profile')!r}, not 'quick'; deltas are "
+                  f"not comparable", file=sys.stderr)
+        names = tuple(baseline["circuits"])
+        results = run_suite(SuiteRunConfig.quick(names=names,
+                                                 with_schedules=False))
+        committed_total = current_total = 0.0
+        for name in names:
+            committed = baseline["circuits"][name]["total_s"]
+            current = measure(results[name])
+            committed_total += committed
+            current_total += current
+            rows.append({
+                "stage": stage, "circuit": name,
+                "committed_s": f"{committed:.3f}",
+                "current_s": f"{current:.3f}",
+                "delta_percent": round(
+                    100.0 * (current - committed) / committed, 1),
+            })
+        rows.append({
+            "stage": stage, "circuit": "total",
+            "committed_s": f"{committed_total:.3f}",
+            "current_s": f"{current_total:.3f}",
+            "delta_percent": round(
+                100.0 * (current_total - committed_total) / committed_total,
+                1),
+        })
+    if not rows:
+        return 1
+    print(format_table(rows, title="Perf baselines: current vs committed"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -223,6 +323,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--depth", type=int, default=10)
     p_gen.add_argument("--seed", type=int, default=1)
     p_gen.set_defaults(func=cmd_generate)
+
+    p_bench = sub.add_parser(
+        "bench", help="re-measure perf baselines and print deltas")
+    p_bench.add_argument("--stage", choices=("all", "detection", "schedule"),
+                         default="all")
+    p_bench.add_argument("--root", type=Path, default=None,
+                         help="directory holding the BENCH_*.json baselines "
+                              "(default: the repo root)")
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

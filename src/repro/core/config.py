@@ -43,6 +43,9 @@ class FlowConfig:
     ilp_time_limit: float = DEFAULT_TIME_LIMIT_S
     #: Worker processes for the fault simulation (1 = in-process).
     simulation_jobs: int = 1
+    #: Worker processes for the per-period step-2 cover solves
+    #: (1 = in-process; results are identical either way).
+    schedule_jobs: int = 1
     #: Fault-simulation engine: "incremental" (default) or "reference"
     #: (seed full-cone resweep; bit-identical, kept for cross-checking).
     simulation_engine: str = "incremental"
@@ -58,6 +61,8 @@ class FlowConfig:
             raise ValueError("pattern_cap must be positive when given")
         if self.simulation_jobs < 1:
             raise ValueError("simulation_jobs must be >= 1")
+        if self.schedule_jobs < 1:
+            raise ValueError("schedule_jobs must be >= 1")
         if self.simulation_engine not in ("incremental", "reference"):
             raise ValueError(
                 f"unknown simulation_engine {self.simulation_engine!r}")

@@ -135,16 +135,20 @@ class HdfTestFlow:
             note("schedule optimization (conv/heur/prop)")
             result.schedules["conv"] = conventional_schedule(
                 data, classification, clock,
-                time_limit=cfg.ilp_time_limit)
+                time_limit=cfg.ilp_time_limit,
+                jobs=cfg.schedule_jobs, timer=timer)
             result.schedules["heur"] = heuristic_schedule(
-                data, classification, clock, configs)
+                data, classification, clock, configs,
+                jobs=cfg.schedule_jobs, timer=timer)
             result.schedules["prop"] = proposed_schedule(
                 data, classification, clock, configs,
-                time_limit=cfg.ilp_time_limit)
+                time_limit=cfg.ilp_time_limit,
+                jobs=cfg.schedule_jobs, timer=timer)
         if with_coverage_schedules:
             for cov in cfg.coverage_targets:
                 note(f"schedule optimization (cov >= {cov:.0%})")
                 result.coverage_schedules[cov] = proposed_schedule(
                     data, classification, clock, configs, coverage=cov,
-                    time_limit=cfg.ilp_time_limit)
+                    time_limit=cfg.ilp_time_limit,
+                    jobs=cfg.schedule_jobs, timer=timer)
         return result

@@ -20,7 +20,8 @@ from repro.utils.profiling import StageTimer
 
 
 def _default_jobs() -> int:
-    """Worker processes for fault simulation (env ``REPRO_JOBS``)."""
+    """Worker processes for fault simulation and the per-period schedule
+    solves (env ``REPRO_JOBS``)."""
     try:
         return max(1, int(os.environ.get("REPRO_JOBS", "1")))
     except ValueError:
@@ -80,6 +81,7 @@ def run_suite(config: SuiteRunConfig | None = None,
             atpg_seed=cfg.atpg_seed,
             pattern_cap=suite_entry.pattern_budget(scale=cfg.scale),
             simulation_jobs=_default_jobs(),
+            schedule_jobs=_default_jobs(),
         )
         note = (lambda m, _n=name: print(f"[{_n}] {m}")) if progress else None
         entry.results[name] = HdfTestFlow(circuit, flow_config).run(

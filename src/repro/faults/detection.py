@@ -73,6 +73,10 @@ class DetectionData:
     #: loop, so rebuilding the shifted union each call dominates otherwise.
     _det_range: dict[tuple[int, tuple[float, ...], float, float], IntervalSet] \
         = field(default_factory=dict, repr=False)
+    #: (targets, configs, window, policy) -> (ranges, CandidateSet); the
+    #: schedule optimizer's discretization cache — the heuristic, proposed
+    #: and relaxed-coverage schedules all share one candidate set.
+    _sched_cache: dict = field(default_factory=dict, repr=False)
 
     def add(self, fault_idx: int, pattern_idx: int,
             fpr: FaultPatternRange) -> None:
@@ -82,6 +86,7 @@ class DetectionData:
         if self._det_range:
             for key in [k for k in self._det_range if k[0] == fault_idx]:
                 del self._det_range[key]
+        self._sched_cache.clear()
 
     def pairs_for_fault(self, fault_idx: int) -> list[tuple[int, FaultPatternRange]]:
         """All patterns with a non-empty range for the fault."""

@@ -12,17 +12,32 @@
   the greedy heuristic of [17] for Table II comparisons.
 """
 
-from repro.scheduling.discretize import PeriodCandidate, discretize_observation_times
+from repro.scheduling.discretize import (
+    CandidateSet,
+    PeriodCandidate,
+    discretize_candidate_set,
+    discretize_observation_times,
+)
 from repro.scheduling.schedule import ScheduleEntry, ScheduleResult, optimize_schedule
-from repro.scheduling.setcover import CoverProblem, greedy_cover, ilp_cover
+from repro.scheduling.setcover import (
+    CoverProblem,
+    branch_and_bound_cover,
+    greedy_cover,
+    ilp_cover,
+    presolve_cover,
+)
 
 __all__ = [
+    "CandidateSet",
     "PeriodCandidate",
+    "discretize_candidate_set",
     "discretize_observation_times",
     "ScheduleEntry",
     "ScheduleResult",
     "optimize_schedule",
     "CoverProblem",
+    "branch_and_bound_cover",
     "greedy_cover",
     "ilp_cover",
+    "presolve_cover",
 ]

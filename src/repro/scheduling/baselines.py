@@ -18,6 +18,7 @@ from repro.monitors.monitor import MonitorConfigSet
 from repro.scheduling.schedule import ScheduleResult, optimize_schedule
 from repro.scheduling.setcover import DEFAULT_TIME_LIMIT_S
 from repro.timing.clock import ClockSpec
+from repro.utils.profiling import StageTimer
 
 
 def conventional_targets(classification: FaultClassification) -> frozenset[int]:
@@ -33,11 +34,14 @@ def conventional_schedule(
     *,
     solver: str = "ilp",
     time_limit: float = DEFAULT_TIME_LIMIT_S,
+    jobs: int = 1,
+    timer: StageTimer | None = None,
 ) -> ScheduleResult:
     """Schedule for conventional FAST (no monitors, Table II col. 2)."""
     return optimize_schedule(
         data, conventional_targets(classification), clock, configs=None,
-        solver=solver, time_limit=time_limit)  # type: ignore[arg-type]
+        solver=solver, time_limit=time_limit,  # type: ignore[arg-type]
+        jobs=jobs, timer=timer)
 
 
 def heuristic_schedule(
@@ -47,11 +51,13 @@ def heuristic_schedule(
     configs: MonitorConfigSet,
     *,
     coverage: float = 1.0,
+    jobs: int = 1,
+    timer: StageTimer | None = None,
 ) -> ScheduleResult:
     """Greedy monitor-aware schedule (the [17]-style heuristic, col. 3)."""
     return optimize_schedule(
         data, classification.target, clock, configs,
-        coverage=coverage, solver="greedy")
+        coverage=coverage, solver="greedy", jobs=jobs, timer=timer)
 
 
 def proposed_schedule(
@@ -62,8 +68,11 @@ def proposed_schedule(
     *,
     coverage: float = 1.0,
     time_limit: float = DEFAULT_TIME_LIMIT_S,
+    jobs: int = 1,
+    timer: StageTimer | None = None,
 ) -> ScheduleResult:
     """The paper's ILP schedule with programmable monitors (col. 4)."""
     return optimize_schedule(
         data, classification.target, clock, configs,
-        coverage=coverage, solver="ilp", time_limit=time_limit)
+        coverage=coverage, solver="ilp", time_limit=time_limit,
+        jobs=jobs, timer=timer)

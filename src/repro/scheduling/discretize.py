@@ -13,14 +13,33 @@ Two pruning levels:
   another candidate's are removed — this preserves set-cover optimality
   while shrinking the ILP (the paper's "representative intervals" keep only
   the locally richest segments; dominance pruning is the lossless version).
+
+Implementation: a sweep over the sorted interval endpoints fills one packed
+bit matrix (rows = segments, one bit per target fault, numpy ``uint64``
+words).  Each detection interval covers a *contiguous* run of segment
+midpoints, located with two ``searchsorted`` calls and OR-ed into the
+matrix as a slice — no per-(fault, segment) membership tests.  Merging and
+dominance pruning are word-wise vector operations on the same matrix.  The
+seed per-segment ``frozenset`` construction is retained verbatim in
+:mod:`repro.scheduling.reference` for golden-equivalence testing and as the
+before-side of the persistent ``BENCH_schedule.json`` perf baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Hashable, Mapping
 
-from repro.utils.intervals import Interval, IntervalSet, segment_axis
+import numpy as np
+
+from repro.utils.bitset import (
+    dominated_rows,
+    matrix_bits,
+    matrix_to_masks,
+    popcount,
+    zeros,
+)
+from repro.utils.intervals import EPS, Interval, IntervalSet, segment_points
 
 
 @dataclass(frozen=True)
@@ -33,11 +52,31 @@ class PeriodCandidate:
 
     time: float
     segment: Interval
-    faults: frozenset[int]
+    faults: frozenset[Hashable]
 
     @property
     def fault_count(self) -> int:
         return len(self.faults)
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """Discretization output in both representations.
+
+    ``candidates[r]`` materializes row ``r`` of ``matrix`` as a frozenset;
+    ``fault_ids[b]`` is the fault carried by bit ``b``.  The matrix/mask
+    views let the set-cover step consume the packed rows directly instead
+    of re-hashing frozensets.
+    """
+
+    candidates: tuple[PeriodCandidate, ...]
+    matrix: np.ndarray          # (n_candidates, n_words) uint64
+    fault_ids: tuple[Hashable, ...]
+
+    @property
+    def masks(self) -> list[int]:
+        """Python int bitmask per candidate (bit b = ``fault_ids[b]``)."""
+        return matrix_to_masks(self.matrix)
 
 
 def _pick_time(segment: Interval, point: str) -> float:
@@ -57,8 +96,99 @@ def _pick_time(segment: Interval, point: str) -> float:
     raise ValueError(f"unknown candidate point policy {point!r}")
 
 
+def discretize_candidate_set(
+    fault_ranges: Mapping[Hashable, IntervalSet],
+    t_min: float,
+    t_nom: float,
+    *,
+    prune_dominated: bool = True,
+    point: str = "mid",
+) -> CandidateSet:
+    """Sweep-line discretization returning the packed candidate matrix.
+
+    Semantics match :func:`discretize_observation_times` (which wraps this
+    function) — same segments, same merge rule, same dominance pruning and
+    tie-breaking — but the fault sets are built as bit-matrix rows.
+    """
+    fault_ids = tuple(sorted(fault_ranges, key=repr))
+    boundaries: list[float] = []
+    for rng in fault_ranges.values():
+        boundaries.extend(rng.boundaries())
+    pts = segment_points(boundaries, t_min, t_nom)
+    n_seg = max(0, len(pts) - 1)
+    if n_seg == 0 or not fault_ids:
+        return CandidateSet((), zeros(0, len(fault_ids)), fault_ids)
+
+    lows = np.asarray(pts[:-1])
+    highs = np.asarray(pts[1:])
+    mids = 0.5 * (lows + highs)
+
+    # Guard (robustness): duplicate interval endpoints can only produce
+    # zero-length segments when the whole window degenerates (segment_points
+    # guarantees > EPS gaps otherwise); such segments must never become
+    # candidates, so they are masked out of the sweep explicitly rather
+    # than relying on downstream filtering.
+    degenerate = (highs - lows) <= EPS
+
+    # Fill the occupancy matrix: interval [lo, hi] of fault bit b covers
+    # exactly the segments whose midpoint lies in [lo - EPS, hi + EPS] —
+    # identical to the seed's IntervalSet.contains(mid) test — which is a
+    # contiguous slice of the sorted midpoint array.
+    matrix = zeros(n_seg, len(fault_ids))
+    for b, fid in enumerate(fault_ids):
+        word, bit = b >> 6, np.uint64(1 << (b & 63))
+        for iv in fault_ranges[fid]:
+            i0 = int(np.searchsorted(mids, iv.lo - EPS, side="left"))
+            i1 = int(np.searchsorted(mids, iv.hi + EPS, side="right"))
+            if i1 > i0:
+                matrix[i0:i1, word] |= bit
+    if degenerate.any():
+        matrix[degenerate] = 0
+
+    nonempty = matrix.any(axis=1)
+    if not nonempty.any():
+        return CandidateSet((), zeros(0, len(fault_ids)), fault_ids)
+
+    # Merge maximal runs of *adjacent* non-empty segments with identical
+    # fault sets.  Segments are contiguous by construction, so a run breaks
+    # exactly where the row changes or an empty segment intervenes — the
+    # seed's "never merge across a gap" rule.
+    same_as_prev = np.zeros(n_seg, dtype=bool)
+    if n_seg > 1:
+        same_as_prev[1:] = (np.all(matrix[1:] == matrix[:-1], axis=1)
+                            & nonempty[1:] & nonempty[:-1])
+
+    run_lo: list[float] = []
+    run_hi: list[float] = []
+    run_row: list[int] = []
+    for i in np.flatnonzero(nonempty):
+        if run_row and same_as_prev[i]:
+            run_hi[-1] = float(highs[i])
+        else:
+            run_lo.append(float(lows[i]))
+            run_hi.append(float(highs[i]))
+            run_row.append(int(i))
+    merged = matrix[run_row]
+    segments = [Interval(a, b) for a, b in zip(run_lo, run_hi)]
+
+    keep = np.arange(len(segments))
+    if prune_dominated:
+        keep = np.array(_prune_dominated_rows(
+            merged, [s.midpoint for s in segments]), dtype=np.int64)
+        merged = merged[keep]
+        segments = [segments[i] for i in keep]
+
+    bits_per_row = matrix_bits(merged)
+    candidates = tuple(
+        PeriodCandidate(
+            time=_pick_time(seg, point), segment=seg,
+            faults=frozenset(fault_ids[b] for b in bits))
+        for seg, bits in zip(segments, bits_per_row))
+    return CandidateSet(candidates, merged, fault_ids)
+
+
 def discretize_observation_times(
-    fault_ranges: Mapping[int, IntervalSet],
+    fault_ranges: Mapping[Hashable, IntervalSet],
     t_min: float,
     t_nom: float,
     *,
@@ -73,52 +203,22 @@ def discretize_observation_times(
     ``"lo"``/``"hi"`` for the robustness ablation).  Returns candidates
     sorted by ascending time.
     """
-    boundaries: list[float] = []
-    for rng in fault_ranges.values():
-        boundaries.extend(rng.boundaries())
-    segments = segment_axis(boundaries, t_min, t_nom)
-
-    candidates: list[PeriodCandidate] = []
-    for seg in segments:
-        mid = seg.midpoint
-        detected = frozenset(
-            fi for fi, rng in fault_ranges.items() if rng.contains(mid))
-        if not detected:
-            continue
-        if (candidates and candidates[-1].faults == detected
-                and abs(candidates[-1].segment.hi - seg.lo) <= 1e-9):
-            # Merge *contiguous* segments detecting the identical fault set
-            # (never across a gap whose own fault set was empty).
-            prev = candidates.pop()
-            merged = Interval(prev.segment.lo, seg.hi)
-            candidates.append(PeriodCandidate(
-                time=_pick_time(merged, point), segment=merged,
-                faults=detected))
-        else:
-            candidates.append(PeriodCandidate(
-                time=_pick_time(seg, point), segment=seg, faults=detected))
-
-    if prune_dominated:
-        candidates = _prune_dominated(candidates)
-    return candidates
+    return list(discretize_candidate_set(
+        fault_ranges, t_min, t_nom, prune_dominated=prune_dominated,
+        point=point).candidates)
 
 
-def _prune_dominated(candidates: list[PeriodCandidate]) -> list[PeriodCandidate]:
-    """Drop candidates whose fault set is a subset of another's.
+def _prune_dominated_rows(matrix: np.ndarray,
+                          times: list[float]) -> list[int]:
+    """Row indices surviving dominance pruning, ascending.
 
-    Keeps the later (slower-clock) candidate on ties so schedules prefer
-    frequencies closer to nominal, which are cheaper to generate.
+    Seed tie-breaking preserved: rows are scanned by (-popcount, -time) —
+    stable sort — and a row is dropped when its bits are a subset of an
+    already-kept row's (duplicates included), keeping the later
+    (slower-clock) candidate on ties so schedules prefer frequencies closer
+    to nominal, which are cheaper to generate.
     """
-    keep: list[PeriodCandidate] = []
-    by_size = sorted(enumerate(candidates),
-                     key=lambda iv: (-iv[1].fault_count, -iv[1].time))
-    kept_sets: list[frozenset[int]] = []
-    kept_idx: list[int] = []
-    for idx, cand in by_size:
-        if any(cand.faults <= s for s in kept_sets):
-            continue
-        kept_sets.append(cand.faults)
-        kept_idx.append(idx)
-    kept_idx.sort()
-    keep = [candidates[i] for i in kept_idx]
-    return keep
+    counts = popcount(matrix)
+    order = sorted(range(matrix.shape[0]),
+                   key=lambda i: (-int(counts[i]), -times[i]))
+    return sorted(dominated_rows(matrix, order))

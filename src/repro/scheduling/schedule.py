@@ -12,17 +12,41 @@ Both steps are set-covering problems; ``solver`` chooses between the exact
 
 A schedule is a set of triples ``(frequency, pattern, configuration)``
 (Sec. III-A: ``S ⊆ F × P × C``).
+
+Performance structure (the bitset pipeline):
+
+* per-fault observable ranges come from the memoized
+  :meth:`DetectionData.detection_range` instead of rebuilding the shifted
+  union per call,
+* discretization + dominance pruning run once per
+  ``(targets, configs, window, policy)`` tuple and are cached on the
+  :class:`DetectionData` (the heuristic, proposed and relaxed-coverage
+  schedules all share one candidate set),
+* fault dropping accumulates coverage incrementally on int bitmasks
+  instead of re-intersecting every pool candidate per round,
+* the independent per-period step-2 cover problems can be solved by a
+  worker pool (``jobs > 1``), mirroring the fault-simulation pool.
+
+``timer`` collects the per-stage wall-clock split (``target_ranges`` /
+``discretize`` / ``step1`` / ``step2``, plus ``presolve`` nested inside
+``step1``) that ``BENCH_schedule.json`` persists.  The seed pipeline
+survives verbatim in :mod:`repro.scheduling.reference` for golden
+equivalence and perf baselining.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import Literal, Mapping
 
-from repro.faults.detection import DetectionData
+from repro.faults.detection import DetectionData, FaultPatternRange
 from repro.monitors.monitor import MonitorConfigSet
-from repro.monitors.shifting import observable_range
-from repro.scheduling.discretize import PeriodCandidate, discretize_observation_times
+from repro.scheduling.discretize import (
+    CandidateSet,
+    PeriodCandidate,
+    discretize_candidate_set,
+)
 from repro.scheduling.setcover import (
     DEFAULT_TIME_LIMIT_S,
     CoverProblem,
@@ -30,7 +54,9 @@ from repro.scheduling.setcover import (
     ilp_cover,
 )
 from repro.timing.clock import ClockSpec
+from repro.utils.bitset import mask_bits
 from repro.utils.intervals import IntervalSet
+from repro.utils.profiling import StageTimer
 
 Solver = Literal["ilp", "greedy"]
 
@@ -92,9 +118,10 @@ class ScheduleResult:
 
 
 def _solve(problem: CoverProblem, solver: Solver, coverage: float,
-           time_limit: float) -> list[int]:
+           time_limit: float, timer: StageTimer | None = None) -> list[int]:
     if solver == "ilp":
-        return ilp_cover(problem, coverage=coverage, time_limit=time_limit)
+        return ilp_cover(problem, coverage=coverage, time_limit=time_limit,
+                         timer=timer)
     if solver == "greedy":
         return greedy_cover(problem, coverage=coverage)
     raise ValueError(f"unknown solver {solver!r}")
@@ -103,12 +130,17 @@ def _solve(problem: CoverProblem, solver: Solver, coverage: float,
 def target_ranges(data: DetectionData, targets: frozenset[int] | set[int],
                   clock: ClockSpec, configs: MonitorConfigSet | None
                   ) -> dict[int, IntervalSet]:
-    """Observable detection range per target fault (monitors optional)."""
+    """Observable detection range per target fault (monitors optional).
+
+    Delegates to the memoized :meth:`DetectionData.detection_range`, so the
+    shifted union of each fault is built at most once per (configuration
+    set, window) across all schedules computed from the same data.
+    """
     config_delays = tuple(configs) if configs is not None else ()
     out: dict[int, IntervalSet] = {}
     for fi in targets:
-        rng = observable_range(data.union_all(fi), data.union_mon(fi),
-                               config_delays, clock.t_min, clock.t_nom)
+        rng = data.detection_range(fi, config_delays, clock.t_min,
+                                   clock.t_nom)
         if not rng.is_empty:
             out[fi] = rng
     return out
@@ -122,24 +154,36 @@ def order_periods_fault_dropping(
 
     Implements the paper's "heuristic selection that uses fault dropping":
     periods are ranked by how many still-unassigned faults they detect; each
-    iteration takes the richest period and drops its faults.
+    iteration takes the richest period and drops its faults.  Coverage is
+    accumulated incrementally on int bitmasks — one AND + popcount per pool
+    candidate per round — rather than re-intersecting frozensets; selection
+    order and tie-breaking (highest gain, then latest period, first
+    candidate wins) are unchanged from the seed.
     """
-    remaining = set(covered)
-    pool = list(chosen)
+    ids = tuple(sorted(covered, key=repr))
+    index = {f: b for b, f in enumerate(ids)}
+    masks = [sum(1 << index[f] for f in c.faults if f in index)
+             for c in chosen]
+    remaining = (1 << len(ids)) - 1
+    pool = list(range(len(chosen)))
     ordered: list[tuple[PeriodCandidate, frozenset[int]]] = []
     while pool and remaining:
-        best = max(pool, key=lambda c: (len(c.faults & remaining), c.time))
-        take = frozenset(best.faults & remaining)
-        pool.remove(best)
+        best_pos = max(
+            range(len(pool)),
+            key=lambda p: ((masks[pool[p]] & remaining).bit_count(),
+                           chosen[pool[p]].time))
+        j = pool.pop(best_pos)
+        take = masks[j] & remaining
         if not take:
             continue
-        ordered.append((best, take))
-        remaining -= take
+        ordered.append((chosen[j],
+                        frozenset(ids[b] for b in mask_bits(take))))
+        remaining &= ~take
     return ordered
 
 
-def _pattern_config_subsets(
-    data: DetectionData,
+def _pattern_config_subsets_from_ranges(
+    ranges: Mapping[int, Mapping[int, FaultPatternRange]],
     fault_set: frozenset[int],
     period: float,
     configs: MonitorConfigSet | None,
@@ -149,7 +193,7 @@ def _pattern_config_subsets(
     :data:`FF_ONLY_CONFIG`."""
     combos: dict[tuple[int, int], set[int]] = {}
     for fi in fault_set:
-        for pi, fpr in data.ranges.get(fi, {}).items():
+        for pi, fpr in ranges.get(fi, {}).items():
             ff_hit = fpr.i_all.contains(period)
             if configs is None:
                 if ff_hit:
@@ -159,6 +203,96 @@ def _pattern_config_subsets(
                 if ff_hit or fpr.i_mon.shifted(d).contains(period):
                     combos.setdefault((pi, ci), set()).add(fi)
     return combos
+
+
+def _pattern_config_subsets(
+    data: DetectionData,
+    fault_set: frozenset[int],
+    period: float,
+    configs: MonitorConfigSet | None,
+) -> dict[tuple[int, int], set[int]]:
+    return _pattern_config_subsets_from_ranges(
+        data.ranges, fault_set, period, configs)
+
+
+def _candidate_set_cached(
+    data: DetectionData,
+    targets: frozenset[int],
+    clock: ClockSpec,
+    configs: MonitorConfigSet | None,
+    prune_dominated: bool,
+    candidate_point: str,
+    timer: StageTimer | None,
+) -> tuple[dict[int, IntervalSet], CandidateSet]:
+    """Observable ranges + discretized candidates, cached on the data.
+
+    The heuristic, proposed and every relaxed-coverage schedule query the
+    identical (targets, configs, window) tuple; discretization and
+    dominance pruning therefore run once, like ``detection_range``.
+    """
+    config_delays = tuple(configs) if configs is not None else ()
+    key = (targets, config_delays, clock.t_min, clock.t_nom,
+           prune_dominated, candidate_point)
+    cached = data._sched_cache.get(key)
+    if cached is not None:
+        return cached
+    if timer is not None:
+        with timer.stage("target_ranges"):
+            ranges = target_ranges(data, targets, clock, configs)
+        with timer.stage("discretize"):
+            cand_set = discretize_candidate_set(
+                ranges, clock.t_min, clock.t_nom,
+                prune_dominated=prune_dominated, point=candidate_point)
+    else:
+        ranges = target_ranges(data, targets, clock, configs)
+        cand_set = discretize_candidate_set(
+            ranges, clock.t_min, clock.t_nom,
+            prune_dominated=prune_dominated, point=candidate_point)
+    data._sched_cache[key] = (ranges, cand_set)
+    return ranges, cand_set
+
+
+def _solve_period(
+    ranges: Mapping[int, Mapping[int, FaultPatternRange]],
+    period: float,
+    fault_set: frozenset[int],
+    configs: MonitorConfigSet | None,
+    solver: Solver,
+    time_limit: float,
+) -> list[ScheduleEntry]:
+    """Step-2 covering for one selected period (worker-safe)."""
+    combos = _pattern_config_subsets_from_ranges(
+        ranges, fault_set, period, configs)
+    keys = sorted(combos)
+    sub_problem = CoverProblem(
+        subsets=[frozenset(combos[k]) for k in keys],
+        universe=fault_set)
+    picked = _solve(sub_problem, solver, 1.0, time_limit)
+    return [ScheduleEntry(period=period, pattern=keys[j][0],
+                          config=keys[j][1])
+            for j in picked]
+
+
+# Per-process state for the step-2 worker pool; initialized exclusively
+# through the pool initializer (inherited on fork, pickled on spawn),
+# mirroring the fault-simulation pool in repro.faults.detection.
+_SCHED_WORKER: dict[str, object] = {}
+
+
+def _sched_worker_init(ranges, configs, solver,
+                       time_limit):  # pragma: no cover - subprocess body
+    _SCHED_WORKER["ranges"] = ranges
+    _SCHED_WORKER["configs"] = configs
+    _SCHED_WORKER["solver"] = solver
+    _SCHED_WORKER["time_limit"] = time_limit
+
+
+def _sched_worker_run(job):  # pragma: no cover - subprocess body
+    period, fault_set = job
+    return _solve_period(
+        _SCHED_WORKER["ranges"], period, fault_set,
+        _SCHED_WORKER["configs"], _SCHED_WORKER["solver"],
+        _SCHED_WORKER["time_limit"])
 
 
 def optimize_schedule(
@@ -172,6 +306,8 @@ def optimize_schedule(
     time_limit: float = DEFAULT_TIME_LIMIT_S,
     prune_dominated: bool = True,
     candidate_point: str = "mid",
+    jobs: int = 1,
+    timer: StageTimer | None = None,
 ) -> ScheduleResult:
     """Run both optimization steps and return the complete test schedule.
 
@@ -180,43 +316,67 @@ def optimize_schedule(
     (Table III); step 2 always fully covers the faults the selected
     frequencies can reach.  ``candidate_point`` chooses where inside each
     discretization segment the test period sits (``"mid"`` per the paper).
+
+    ``jobs > 1`` distributes the independent per-period step-2 cover
+    problems over worker processes (results are identical to the
+    sequential path).  ``timer`` accumulates the per-stage wall-clock
+    split; the parallel path credits step 2 as one block.
     """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
     targets = frozenset(targets)
-    ranges = target_ranges(data, targets, clock, configs)
+    ranges, cand_set = _candidate_set_cached(
+        data, targets, clock, configs, prune_dominated, candidate_point,
+        timer)
+    candidates = list(cand_set.candidates)
     if not ranges:
         return ScheduleResult(periods=[], entries=[], targets=targets,
                               covered=frozenset(), method=solver,
                               num_candidates=0)
 
-    candidates = discretize_observation_times(
-        ranges, clock.t_min, clock.t_nom, prune_dominated=prune_dominated,
-        point=candidate_point)
-
     # ------------------------------------------------------------------
     # Step 1: minimal frequency selection.
     # ------------------------------------------------------------------
     problem = CoverProblem(subsets=[c.faults for c in candidates])
-    chosen_idx = _solve(problem, solver, coverage, time_limit)
+    if timer is not None:
+        with timer.stage("step1"):
+            chosen_idx = _solve(problem, solver, coverage, time_limit, timer)
+    else:
+        chosen_idx = _solve(problem, solver, coverage, time_limit)
     chosen = [candidates[j] for j in chosen_idx]
-    covered = frozenset().union(*(c.faults for c in chosen)) if chosen else frozenset()
+    covered_acc: set[int] = set()
+    for c in chosen:
+        covered_acc |= c.faults
+    covered = frozenset(covered_acc)
 
     # ------------------------------------------------------------------
     # Step 2: per-frequency pattern/config selection.
     # ------------------------------------------------------------------
+    dropping = order_periods_fault_dropping(chosen, covered)
+    per_period: dict[float, frozenset[int]] = {
+        cand.time: fault_set for cand, fault_set in dropping}
     entries: list[ScheduleEntry] = []
-    per_period: dict[float, frozenset[int]] = {}
-    for cand, fault_set in order_periods_fault_dropping(chosen, covered):
-        per_period[cand.time] = fault_set
-        combos = _pattern_config_subsets(data, fault_set, cand.time, configs)
-        keys = sorted(combos)
-        sub_problem = CoverProblem(
-            subsets=[frozenset(combos[k]) for k in keys],
-            universe=fault_set)
-        picked = _solve(sub_problem, solver, 1.0, time_limit)
-        entries.extend(
-            ScheduleEntry(period=cand.time, pattern=keys[j][0],
-                          config=keys[j][1])
-            for j in picked)
+    with (timer.stage("step2") if timer is not None else nullcontext()):
+        if jobs == 1 or len(dropping) <= 1:
+            for cand, fault_set in dropping:
+                entries.extend(_solve_period(
+                    data.ranges, cand.time, fault_set, configs, solver,
+                    time_limit))
+        else:
+            import multiprocessing as mp
+
+            if "fork" in mp.get_all_start_methods():
+                ctx = mp.get_context("fork")
+            else:  # pragma: no cover - platform-dependent
+                ctx = mp.get_context()
+            init_args = (data.ranges, configs, solver, time_limit)
+            jobs_list = [(cand.time, fault_set)
+                         for cand, fault_set in dropping]
+            with ctx.Pool(processes=min(jobs, len(jobs_list)),
+                          initializer=_sched_worker_init,
+                          initargs=init_args) as pool:
+                for picked in pool.imap(_sched_worker_run, jobs_list):
+                    entries.extend(picked)
 
     return ScheduleResult(
         periods=sorted(per_period),

@@ -11,6 +11,18 @@ list of subsets; they return subset indices whose union covers the required
 part of the universe, minimizing the number of chosen subsets.  *Partial*
 covering (``coverage < 1.0``) asks that at least ``ceil(coverage * |U|)``
 elements be covered (Table III's relaxed coverage targets).
+
+Internally every solver runs on a packed bitset view of the problem
+(:meth:`CoverProblem.packed`): elements are numbered deterministically
+(sorted by ``repr``) and each subset becomes an int bitmask, so gain
+scoring is a popcount and union/subset tests are single int operations.
+Full-coverage ILPs additionally pass through :func:`presolve_cover`, a
+provably lossless reduction (duplicate-row/column collapse, dominated-
+column elimination, essential-subset forcing, connected-component
+splitting) that shrinks — often eliminates — the matrix ``milp`` sees;
+see ALGORITHMS.md §9 for the losslessness argument.  The seed greedy and
+the unreduced ILP construction survive via
+``repro.scheduling.reference`` / ``presolve=False`` for golden testing.
 """
 
 from __future__ import annotations
@@ -23,9 +35,31 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from repro.utils.bitset import mask_bits
+from repro.utils.profiling import StageTimer
+
 #: Default wall-clock limit per ILP, mirroring the paper's 1 h timeout but
 #: scaled to interactive experiment sizes.
 DEFAULT_TIME_LIMIT_S = 60.0
+
+
+@dataclass(frozen=True)
+class PackedCover:
+    """Bitset view of a :class:`CoverProblem`.
+
+    ``elements[b]`` is the universe element carried by bit ``b`` (sorted by
+    ``repr`` — the same deterministic order the seed ILP used for its
+    constraint rows); ``masks[j]`` is subset ``j`` restricted to the
+    universe; ``full`` has every universe bit set.
+    """
+
+    elements: tuple[Hashable, ...]
+    masks: tuple[int, ...]
+    full: int
+
+    @property
+    def num_elements(self) -> int:
+        return len(self.elements)
 
 
 @dataclass
@@ -36,19 +70,40 @@ class CoverProblem:
     universe: frozenset[Hashable] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
-        covered = frozenset().union(*self.subsets) if self.subsets else frozenset()
+        # Single accumulating union: frozenset().union(*subsets) builds a
+        # fresh frozenset per argument-tuple element on large instances;
+        # in-place |= over one set is linear in the total subset size.
+        covered: set[Hashable] = set()
+        for s in self.subsets:
+            covered |= s
         if not self.universe:
-            self.universe = covered
+            self.universe = frozenset(covered)
         else:
             missing = self.universe - covered
             if missing:
+                # Deterministic, complete report: every missing element in
+                # repr order, not a truncated sample.
                 raise ValueError(
-                    f"{len(missing)} universe elements not coverable, "
-                    f"e.g. {sorted(missing, key=repr)[:4]}")
+                    f"{len(missing)} universe elements not coverable: "
+                    f"{sorted(missing, key=repr)}")
+        self._packed: PackedCover | None = None
 
     @property
     def num_subsets(self) -> int:
         return len(self.subsets)
+
+    def packed(self) -> PackedCover:
+        """Bitset view (built lazily, cached; subsets must not mutate)."""
+        if self._packed is None:
+            elements = tuple(sorted(self.universe, key=repr))
+            index = {e: b for b, e in enumerate(elements)}
+            masks = tuple(
+                sum(1 << index[e] for e in s if e in index)
+                for s in self.subsets)
+            self._packed = PackedCover(
+                elements=elements, masks=masks,
+                full=(1 << len(elements)) - 1)
+        return self._packed
 
     def required_count(self, coverage: float) -> int:
         if not 0.0 < coverage <= 1.0:
@@ -64,84 +119,249 @@ class CoverProblem:
 
 def greedy_cover(problem: CoverProblem, *, coverage: float = 1.0) -> list[int]:
     """Classic greedy heuristic: repeatedly pick the subset covering the most
-    still-uncovered elements (the [17]-style baseline)."""
+    still-uncovered elements (the [17]-style baseline).
+
+    Runs on the packed bitmasks with popcount scoring; selection order and
+    tie-breaking (lowest index on equal gain) are identical to the seed
+    set-based implementation, which lives on as
+    :func:`repro.scheduling.reference.greedy_cover_reference`.
+    """
     need = problem.required_count(coverage)
-    uncovered = set(problem.universe)
+    p = problem.packed()
+    uncovered = p.full
     chosen: list[int] = []
-    remaining = [(j, set(s) & uncovered) for j, s in enumerate(problem.subsets)]
+    remaining = [(j, m & uncovered) for j, m in enumerate(p.masks)]
     covered_count = 0
     while covered_count < need:
         j_best, gain_best = -1, 0
-        for j, s in remaining:
-            gain = len(s)
+        for j, m in remaining:
+            gain = m.bit_count()
             if gain > gain_best:
                 j_best, gain_best = j, gain
         if j_best < 0:
             raise RuntimeError("greedy cover stalled before reaching coverage")
         chosen.append(j_best)
-        newly = [s for j, s in remaining if j == j_best][0]
-        covered_count += len(newly)
-        uncovered -= newly
-        remaining = [(j, s & uncovered) for j, s in remaining
-                     if j != j_best and s & uncovered]
+        newly = next(m for j, m in remaining if j == j_best)
+        covered_count += gain_best
+        uncovered &= ~newly
+        remaining = [(j, m & uncovered) for j, m in remaining
+                     if j != j_best and m & uncovered]
     chosen.sort()
     return chosen
 
 
+# ----------------------------------------------------------------------
+# Presolve (full coverage only — provably lossless, see ALGORITHMS.md §9)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PresolveReduction:
+    """Outcome of :func:`presolve_cover`.
+
+    ``forced`` — original subset indices every minimum cover must contain
+    (essential columns, discovered transitively).  ``components`` — the
+    irreducible kernel, split into independent subproblems: each entry is
+    ``(columns, masks, uncovered)`` with original column indices, their
+    masks restricted to the component, and the component's element mask.
+    An empty ``components`` list means presolve solved the instance
+    outright.  ``stats`` counts eliminations per rule.
+    """
+
+    forced: tuple[int, ...]
+    components: tuple[tuple[tuple[int, ...], tuple[int, ...], int], ...]
+    stats: dict[str, int]
+
+    @property
+    def solved(self) -> bool:
+        return not self.components
+
+
+def presolve_cover(problem: CoverProblem) -> PresolveReduction:
+    """Lossless full-coverage reduction of a set-covering instance.
+
+    Iterates three rules to a fixpoint, then splits what remains into
+    connected components:
+
+    1. **Dominated/duplicate columns** — drop subset ``j`` when its
+       remaining elements are contained in subset ``k``'s (first index wins
+       among equals).  Any cover using ``j`` swaps in ``k`` at equal
+       cardinality, so some minimum cover survives the deletion.
+    2. **Essential columns** — an element covered by exactly one surviving
+       subset forces that subset into *every* cover; take it and delete
+       its elements.
+    3. **Duplicate rows** — elements covered by identical subset
+       collections impose identical constraints; collapsing them changes
+       nothing (applied when building the ILP matrix, via the component
+       element masks).
+
+    Connected-component splitting is exact because the constraint matrix
+    is block-diagonal over components: a cover of the union is the
+    disjoint union of covers, so the minima add.
+    """
+    p = problem.packed()
+    alive: dict[int, int] = {j: m for j, m in enumerate(p.masks) if m}
+    uncovered = p.full
+    forced: list[int] = []
+    stats = {"dominated_columns": 0, "essential_columns": 0,
+             "duplicate_rows": 0, "components": 0}
+
+    changed = True
+    while changed and uncovered:
+        changed = False
+        # Rule 1: dominated / duplicate columns (largest first, then lowest
+        # index, so the maximal representative of every chain is kept).
+        order = sorted(alive, key=lambda j: (-alive[j].bit_count(), j))
+        kept: list[int] = []
+        for j in order:
+            m = alive[j]
+            if any(m & ~alive[k] == 0 for k in kept):
+                del alive[j]
+                stats["dominated_columns"] += 1
+                changed = True
+            else:
+                kept.append(j)
+        # Rule 2: essential columns — count covering subsets per element.
+        count: dict[int, int] = {}
+        only: dict[int, int] = {}
+        for j in sorted(alive):
+            for e in mask_bits(alive[j] & uncovered):
+                count[e] = count.get(e, 0) + 1
+                only[e] = j
+        essential = sorted({only[e] for e, c in count.items() if c == 1})
+        for j in essential:
+            if j not in alive:       # may have been taken via another element
+                continue
+            forced.append(j)
+            uncovered &= ~alive[j]
+            del alive[j]
+            stats["essential_columns"] += 1
+            changed = True
+        if changed:
+            for j in list(alive):
+                alive[j] &= uncovered
+                if not alive[j]:
+                    del alive[j]
+
+    components: list[tuple[tuple[int, ...], tuple[int, ...], int]] = []
+    if uncovered:
+        # Union-find over elements; every column merges its elements.
+        parent: dict[int, int] = {e: e for e in mask_bits(uncovered)}
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for j in sorted(alive):
+            bits = mask_bits(alive[j])
+            for e in bits[1:]:
+                ra, rb = find(bits[0]), find(e)
+                if ra != rb:
+                    parent[rb] = ra
+        groups: dict[int, int] = {}
+        for e in parent:
+            groups[find(e)] = groups.get(find(e), 0) | (1 << e)
+        for root in sorted(groups):
+            comp_mask = groups[root]
+            cols = tuple(j for j in sorted(alive) if alive[j] & comp_mask)
+            components.append(
+                (cols, tuple(alive[j] for j in cols), comp_mask))
+        stats["components"] = len(components)
+
+    forced.sort()
+    return PresolveReduction(forced=tuple(forced),
+                             components=tuple(components), stats=stats)
+
+
+def _milp_component(cols: Sequence[int], masks: Sequence[int],
+                    uncovered: int, time_limit: float,
+                    stats: dict[str, int] | None = None) -> list[int] | None:
+    """Exact minimum cover of one presolved component via HiGHS.
+
+    Duplicate rows (rule 3) are collapsed here: elements with identical
+    covering-column signatures produce one constraint.  Returns original
+    column indices, or None when HiGHS yields no incumbent.
+    """
+    elements = mask_bits(uncovered)
+    # Signature of an element = the set of local columns covering it.
+    sig_rows: dict[tuple[int, ...], int] = {}
+    for e in elements:
+        bit = 1 << e
+        sig = tuple(c for c, m in enumerate(masks) if m & bit)
+        sig_rows.setdefault(sig, 0)
+        sig_rows[sig] += 1
+    signatures = sorted(sig_rows)
+    if stats is not None:
+        stats["duplicate_rows"] += len(elements) - len(signatures)
+    n_el, n_sub = len(signatures), len(cols)
+    rows_idx, cols_idx = [], []
+    for r, sig in enumerate(signatures):
+        for c in sig:
+            rows_idx.append(r)
+            cols_idx.append(c)
+    a_cover = sparse.csr_matrix(
+        (np.ones(len(rows_idx)), (rows_idx, cols_idx)), shape=(n_el, n_sub))
+    res = milp(c=np.ones(n_sub),
+               constraints=[LinearConstraint(a_cover, lb=1.0, ub=np.inf)],
+               bounds=Bounds(0, 1), integrality=np.ones(n_sub),
+               options={"time_limit": time_limit, "presolve": True})
+    if res.x is None:
+        return None
+    return [cols[c] for c in range(n_sub) if res.x[c] > 0.5]
+
+
 def ilp_cover(problem: CoverProblem, *, coverage: float = 1.0,
-              time_limit: float = DEFAULT_TIME_LIMIT_S) -> list[int]:
+              time_limit: float = DEFAULT_TIME_LIMIT_S,
+              presolve: bool = True,
+              timer: StageTimer | None = None) -> list[int]:
     """Exact 0-1 ILP set cover via HiGHS (Sec. IV-C formulation).
 
     Full coverage: ``min Σ x_j  s.t.  Σ_{j ∋ e} x_j ≥ 1 ∀ e``.
     Partial coverage adds indicator variables ``y_e ≤ Σ_{j ∋ e} x_j`` with
     ``Σ y_e ≥ ⌈coverage · |U|⌉``.
 
+    With ``presolve=True`` (default) full-coverage instances are first
+    reduced by :func:`presolve_cover`; components the reduction leaves
+    behind are solved as independent (much smaller) ILPs.  Partial
+    coverage skips presolve — element multiplicity matters there, so the
+    reductions are not lossless.  ``timer`` credits the reduction time to
+    a ``"presolve"`` stage.
+
     Falls back to the greedy solution when the solver hits the time limit
     without an incumbent (documented behaviour of the paper's flow, which
     aborted its commercial solver after one hour).
     """
-    elements = sorted(problem.universe, key=repr)
-    e_index = {e: i for i, e in enumerate(elements)}
-    n_el, n_sub = len(elements), problem.num_subsets
+    n_sub = problem.num_subsets
+    n_el = len(problem.universe)
     if n_sub == 0 or n_el == 0:
         return []
 
-    rows, cols = [], []
-    for j, s in enumerate(problem.subsets):
-        for e in s:
-            if e in e_index:
-                rows.append(e_index[e])
-                cols.append(j)
-    a_cover = sparse.csr_matrix(
-        (np.ones(len(rows)), (rows, cols)), shape=(n_el, n_sub))
-
-    if coverage >= 1.0 - 1e-12:
-        c = np.ones(n_sub)
-        constraints = [LinearConstraint(a_cover, lb=1.0, ub=np.inf)]
-        bounds = Bounds(0, 1)
-        integrality = np.ones(n_sub)
+    full_coverage = coverage >= 1.0 - 1e-12
+    chosen: list[int] | None = None
+    if full_coverage and presolve:
+        if timer is not None:
+            with timer.stage("presolve"):
+                red = presolve_cover(problem)
+        else:
+            red = presolve_cover(problem)
+        chosen = list(red.forced)
+        for cols, masks, comp_mask in red.components:
+            picks = _milp_component(cols, masks, comp_mask, time_limit,
+                                    red.stats)
+            if picks is None:
+                chosen = None       # timeout: greedy fallback on the whole
+                break
+            chosen.extend(picks)
+    elif full_coverage:
+        chosen = _milp_seed_full(problem, time_limit)
+    elif presolve:
+        chosen = _milp_partial_aggregated(problem, coverage, time_limit)
     else:
-        # Variables: [x_1..x_S, y_1..y_E]
-        need = problem.required_count(coverage)
-        c = np.concatenate([np.ones(n_sub), np.zeros(n_el)])
-        link = sparse.hstack([a_cover, -sparse.identity(n_el, format="csr")])
-        count = sparse.hstack([
-            sparse.csr_matrix((1, n_sub)),
-            sparse.csr_matrix(np.ones((1, n_el)))])
-        constraints = [
-            LinearConstraint(link, lb=0.0, ub=np.inf),
-            LinearConstraint(count, lb=float(need), ub=np.inf),
-        ]
-        bounds = Bounds(0, 1)
-        integrality = np.ones(n_sub + n_el)
+        chosen = _milp_seed_partial(problem, coverage, time_limit)
 
-    res = milp(c=c, constraints=constraints, bounds=bounds,
-               integrality=integrality,
-               options={"time_limit": time_limit, "presolve": True})
-    if res.x is None:
+    if chosen is None:
         return greedy_cover(problem, coverage=coverage)
-    x = res.x[:n_sub]
-    chosen = [j for j in range(n_sub) if x[j] > 0.5]
+    chosen.sort()
     # Defensive: HiGHS can return a feasible-but-suboptimal incumbent on
     # timeout; verify feasibility and fall back to greedy on violation.
     covered = problem.covered_by(chosen)
@@ -150,48 +370,202 @@ def ilp_cover(problem: CoverProblem, *, coverage: float = 1.0,
     return chosen
 
 
+def _seed_matrix(problem: CoverProblem) -> tuple[sparse.csr_matrix, int, int]:
+    """Unreduced element × subset matrix, seed construction order."""
+    elements = sorted(problem.universe, key=repr)
+    e_index = {e: i for i, e in enumerate(elements)}
+    n_el, n_sub = len(elements), problem.num_subsets
+    rows, cols = [], []
+    for j, s in enumerate(problem.subsets):
+        for e in s:
+            if e in e_index:
+                rows.append(e_index[e])
+                cols.append(j)
+    a_cover = sparse.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(n_el, n_sub))
+    return a_cover, n_el, n_sub
+
+
+def _milp_seed_full(problem: CoverProblem,
+                    time_limit: float) -> list[int] | None:
+    """Seed full-coverage ILP without presolve (``presolve=False`` path)."""
+    a_cover, _n_el, n_sub = _seed_matrix(problem)
+    res = milp(c=np.ones(n_sub),
+               constraints=[LinearConstraint(a_cover, lb=1.0, ub=np.inf)],
+               bounds=Bounds(0, 1), integrality=np.ones(n_sub),
+               options={"time_limit": time_limit, "presolve": True})
+    if res.x is None:
+        return None
+    return [j for j in range(n_sub) if res.x[j] > 0.5]
+
+
+def _milp_partial_aggregated(problem: CoverProblem, coverage: float,
+                             time_limit: float) -> list[int] | None:
+    """Partial-coverage ILP with signature-aggregated indicators.
+
+    Elements covered by the *same* set of subsets are interchangeable for
+    the count constraint: either some covering subset is chosen (all of
+    them become coverable) or none is.  One indicator ``y_g`` per distinct
+    covering signature with weight = group size therefore yields the same
+    optimum as the per-element seed formulation while shrinking the ILP
+    from ``|U|`` to ``#signatures`` indicator variables and link rows.
+    (Duplicate-*column* and essential reductions are NOT lossless here —
+    element multiplicity and optional coverage break them — so this is the
+    only presolve rule the partial path applies.)
+    """
+    p = problem.packed()
+    need = problem.required_count(coverage)
+    # Element signature = int mask over columns covering it.
+    sigs = [0] * p.num_elements
+    for j, m in enumerate(p.masks):
+        for e in mask_bits(m):
+            sigs[e] |= 1 << j
+    groups: dict[int, int] = {}
+    for sig in sigs:
+        if sig:
+            groups[sig] = groups.get(sig, 0) + 1
+    signatures = sorted(groups)
+    n_sub, n_grp = len(p.masks), len(signatures)
+    if n_grp == 0:
+        return []       # nothing coverable; need == 0 handled by caller
+    # Variables: [x_1..x_S, y_1..y_G]
+    c = np.concatenate([np.ones(n_sub), np.zeros(n_grp)])
+    rows_idx, cols_idx, vals = [], [], []
+    for g, sig in enumerate(signatures):
+        for j in mask_bits(sig):
+            rows_idx.append(g)
+            cols_idx.append(j)
+            vals.append(1.0)
+        rows_idx.append(g)
+        cols_idx.append(n_sub + g)
+        vals.append(-1.0)
+    link = sparse.csr_matrix((vals, (rows_idx, cols_idx)),
+                             shape=(n_grp, n_sub + n_grp))
+    weights = np.concatenate([
+        np.zeros(n_sub),
+        np.array([float(groups[sig]) for sig in signatures])])
+    # Greedy incumbent as a cardinality cut: greedy is feasible, so the
+    # optimum satisfies Σx ≤ |greedy| — a lossless bound that lets the
+    # solver prune most of its branch-and-bound tree up front.
+    ub = float(len(greedy_cover(problem, coverage=coverage)))
+    card = np.concatenate([np.ones(n_sub), np.zeros(n_grp)])
+    constraints = [
+        LinearConstraint(link, lb=0.0, ub=np.inf),
+        LinearConstraint(weights[None, :], lb=float(need), ub=np.inf),
+        LinearConstraint(card[None, :], lb=0.0, ub=ub),
+    ]
+    res = milp(c=c, constraints=constraints, bounds=Bounds(0, 1),
+               integrality=np.ones(n_sub + n_grp),
+               options={"time_limit": time_limit, "presolve": True})
+    if res.x is None:
+        return None
+    return [j for j in range(n_sub) if res.x[j] > 0.5]
+
+
+def _milp_seed_partial(problem: CoverProblem, coverage: float,
+                       time_limit: float) -> list[int] | None:
+    """Partial-coverage ILP with indicator variables ``y_e``."""
+    a_cover, n_el, n_sub = _seed_matrix(problem)
+    need = problem.required_count(coverage)
+    # Variables: [x_1..x_S, y_1..y_E]
+    c = np.concatenate([np.ones(n_sub), np.zeros(n_el)])
+    link = sparse.hstack([a_cover, -sparse.identity(n_el, format="csr")])
+    count = sparse.hstack([
+        sparse.csr_matrix((1, n_sub)),
+        sparse.csr_matrix(np.ones((1, n_el)))])
+    constraints = [
+        LinearConstraint(link, lb=0.0, ub=np.inf),
+        LinearConstraint(count, lb=float(need), ub=np.inf),
+    ]
+    res = milp(c=c, constraints=constraints, bounds=Bounds(0, 1),
+               integrality=np.ones(n_sub + n_el),
+               options={"time_limit": time_limit, "presolve": True})
+    if res.x is None:
+        return None
+    return [j for j in range(n_sub) if res.x[j] > 0.5]
+
+
 def branch_and_bound_cover(problem: CoverProblem, *,
+                           coverage: float = 1.0,
                            max_nodes: int = 200_000) -> list[int]:
-    """Exact set cover by branch-and-bound (full coverage only).
+    """Exact set cover by branch-and-bound on the packed bitmasks.
 
     Dependency-free reference used to cross-check :func:`ilp_cover` in the
-    test suite.  Branches on the least-covered element; bounds with the
-    greedy incumbent and a covering lower bound.
+    test suite.  Full coverage branches on the least-covered element and
+    bounds with the greedy incumbent plus a covering lower bound (the seed
+    strategy, now with popcount scoring).  ``coverage < 1.0`` switches to
+    include/exclude branching on the highest-gain subset, which stays
+    exact for the partial objective.
     """
-    elements = sorted(problem.universe, key=repr)
-    subsets = [frozenset(s) & problem.universe for s in problem.subsets]
-    covers: dict[Hashable, list[int]] = {e: [] for e in elements}
-    for j, s in enumerate(subsets):
-        for e in s:
-            covers[e].append(j)
-
-    best = greedy_cover(problem)
+    p = problem.packed()
+    need = problem.required_count(coverage)
+    if need == 0:
+        return []
+    masks = p.masks
+    best = greedy_cover(problem, coverage=coverage)
     best_len = len(best)
     nodes = 0
 
-    def recurse(uncovered: frozenset[Hashable], chosen: list[int]) -> None:
+    if coverage >= 1.0 - 1e-12:
+        covers: list[list[int]] = [[] for _ in range(p.num_elements)]
+        for j, m in enumerate(masks):
+            for e in mask_bits(m):
+                covers[e].append(j)
+
+        def recurse(uncovered: int, chosen: list[int]) -> None:
+            nonlocal best, best_len, nodes
+            nodes += 1
+            if nodes > max_nodes:
+                return
+            if not uncovered:
+                if len(chosen) < best_len:
+                    best, best_len = list(chosen), len(chosen)
+                return
+            if len(chosen) + 1 >= best_len:
+                return
+            # Lower bound: an element needs at least one more subset each
+            # time the largest remaining subset cannot cover everything.
+            largest = max(((m & uncovered).bit_count() for m in masks),
+                          default=0)
+            if largest == 0:
+                return
+            if (len(chosen) + math.ceil(uncovered.bit_count() / largest)
+                    >= best_len):
+                return
+            pivot = min(mask_bits(uncovered), key=lambda e: len(covers[e]))
+            options = sorted(covers[pivot],
+                             key=lambda j: -(masks[j] & uncovered).bit_count())
+            for j in options:
+                recurse(uncovered & ~masks[j], chosen + [j])
+
+        recurse(p.full, [])
+        return sorted(best)
+
+    # Partial coverage: include/exclude on the current highest-gain subset.
+    def recurse_partial(pool: list[int], uncovered: int, need_rem: int,
+                        chosen: list[int]) -> None:
         nonlocal best, best_len, nodes
-        nodes += 1
-        if nodes > max_nodes:
-            return
-        if not uncovered:
+        if need_rem <= 0:
             if len(chosen) < best_len:
                 best, best_len = list(chosen), len(chosen)
             return
+        nodes += 1
+        if nodes > max_nodes:
+            return
         if len(chosen) + 1 >= best_len:
             return
-        # Lower bound: an element needs at least one more subset each time
-        # the largest remaining subset cannot cover everything.
-        largest = max((len(s & uncovered) for s in subsets), default=0)
+        gains = [(masks[j] & uncovered).bit_count() for j in pool]
+        largest = max(gains, default=0)
         if largest == 0:
             return
-        if len(chosen) + math.ceil(len(uncovered) / largest) >= best_len:
+        if len(chosen) + math.ceil(need_rem / largest) >= best_len:
             return
-        pivot = min(uncovered, key=lambda e: len(covers[e]))
-        options = sorted(covers[pivot],
-                         key=lambda j: -len(subsets[j] & uncovered))
-        for j in options:
-            recurse(uncovered - subsets[j], chosen + [j])
+        pos = gains.index(largest)
+        j = pool[pos]
+        rest = pool[:pos] + pool[pos + 1:]
+        recurse_partial(rest, uncovered & ~masks[j],
+                        need_rem - largest, chosen + [j])
+        recurse_partial(rest, uncovered, need_rem, chosen)
 
-    recurse(frozenset(problem.universe), [])
+    recurse_partial(list(range(len(masks))), p.full, need, [])
     return sorted(best)

@@ -1,0 +1,148 @@
+"""Packed bitset kernels for the scheduling pipeline (Sec. IV).
+
+The schedule optimizer reasons about *sets of target faults* — which faults
+a candidate period detects, which a (pattern, configuration) pair covers.
+The seed implementation carried those sets as Python ``frozenset``s, making
+every union/subset test an O(|set|) hash walk.  This module packs each set
+into ``ceil(n/64)`` numpy ``uint64`` words (one bit per element) so that
+
+* subset tests become word-wise ``a & ~b == 0`` reductions,
+* cardinalities become hardware popcounts,
+* dominance pruning over *m* candidate rows is a vectorized
+  ``(row & ~matrix) == 0`` sweep instead of m² frozenset comparisons.
+
+Two representations interoperate:
+
+* a **bit matrix** (``np.ndarray`` of shape ``(rows, words)``, dtype
+  ``uint64``) for the vectorized bulk operations, and
+* **Python int masks** (arbitrary-precision, bit *i* = element *i*) for the
+  sequential solver loops (greedy, branch-and-bound, presolve) where
+  ``int.bit_count()`` and ``&``/``|``/``~`` on native ints beat array ops
+  on tiny operands.
+
+``matrix_to_masks`` / ``masks_to_matrix`` convert between the two; both
+orderings use the same convention: element *i* lives in word ``i >> 6``,
+bit ``i & 63``, i.e. ints are the little-endian concatenation of the words.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: Bits per word of the packed representation.
+WORD_BITS = 64
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def num_words(n_bits: int) -> int:
+    """Words needed to hold ``n_bits`` bits (at least one)."""
+    return max(1, (n_bits + WORD_BITS - 1) // WORD_BITS)
+
+
+def zeros(n_rows: int, n_bits: int) -> np.ndarray:
+    """Empty bit matrix for ``n_rows`` sets over ``n_bits`` elements."""
+    return np.zeros((n_rows, num_words(n_bits)), dtype=np.uint64)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-row popcount of a bit matrix (shape ``(rows,)``)."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+    # SWAR fallback for numpy < 2.0 (no vectorized popcount).
+    v = words.copy()
+    m1 = np.uint64(0x5555555555555555)
+    m2 = np.uint64(0x3333333333333333)
+    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    h = np.uint64(0x0101010101010101)
+    v = v - ((v >> np.uint64(1)) & m1)
+    v = (v & m2) + ((v >> np.uint64(2)) & m2)
+    v = (v + (v >> np.uint64(4))) & m4
+    v = (v * h) >> np.uint64(56)
+    return v.sum(axis=-1, dtype=np.int64)
+
+
+def pack_sets(sets: Iterable[Iterable[int]], n_bits: int) -> np.ndarray:
+    """Pack an iterable of bit-position collections into a bit matrix."""
+    rows = [np.fromiter(s, dtype=np.int64) for s in sets]
+    out = zeros(len(rows), n_bits)
+    for r, pos in enumerate(rows):
+        if pos.size:
+            np.bitwise_or.at(out[r], pos >> 6,
+                             np.uint64(1) << (pos.astype(np.uint64)
+                                              & np.uint64(63)))
+    return out
+
+
+def row_bits(row: np.ndarray) -> np.ndarray:
+    """Set bit positions of one packed row, ascending."""
+    bits = np.unpackbits(row.view(np.uint8), bitorder="little")
+    return np.flatnonzero(bits)
+
+
+def matrix_bits(matrix: np.ndarray) -> list[np.ndarray]:
+    """Set bit positions of every row (one unpack for the whole matrix)."""
+    if matrix.size == 0:
+        return [np.empty(0, dtype=np.int64) for _ in range(matrix.shape[0])]
+    bits = np.unpackbits(matrix.view(np.uint8), bitorder="little", axis=1)
+    return [np.flatnonzero(bits[r]) for r in range(matrix.shape[0])]
+
+
+def is_subset(row: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Boolean vector: ``row ⊆ matrix[r]`` for every row ``r``."""
+    return ~np.any(row & ~matrix, axis=1)
+
+
+def dominated_rows(matrix: np.ndarray, order: Sequence[int]) -> list[int]:
+    """Indices (into ``matrix``) of rows *not* dominated, scanning ``order``.
+
+    A row is dominated when its bits are a subset of an earlier-kept row's
+    bits (ties included: a duplicate of a kept row is dropped).  ``order``
+    fixes the priority — earlier entries win — and the returned kept list
+    preserves that scan order.
+    """
+    kept: list[int] = []
+    if matrix.shape[0] == 0:
+        return kept
+    stack = np.empty((len(order), matrix.shape[1]), dtype=np.uint64)
+    k = 0
+    for idx in order:
+        row = matrix[idx]
+        if k and bool(np.any(~np.any(row & ~stack[:k], axis=1))):
+            continue
+        stack[k] = row
+        k += 1
+        kept.append(idx)
+    return kept
+
+
+def matrix_to_masks(matrix: np.ndarray) -> list[int]:
+    """Convert each packed row into a Python int bitmask."""
+    if matrix.shape[0] == 0:
+        return []
+    # little-endian byte view → int.from_bytes per row, no per-bit loop.
+    as_bytes = np.ascontiguousarray(matrix).view(np.uint8)
+    return [int.from_bytes(as_bytes[r].tobytes(), "little")
+            for r in range(matrix.shape[0])]
+
+
+def masks_to_matrix(masks: Sequence[int], n_bits: int) -> np.ndarray:
+    """Inverse of :func:`matrix_to_masks`."""
+    nw = num_words(n_bits)
+    out = zeros(len(masks), n_bits)
+    for r, mask in enumerate(masks):
+        out[r] = np.frombuffer(
+            mask.to_bytes(nw * 8, "little"), dtype=np.uint64)
+    return out
+
+
+def mask_bits(mask: int) -> list[int]:
+    """Set bit positions of a Python int mask, ascending."""
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out

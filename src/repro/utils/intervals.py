@@ -314,13 +314,16 @@ class IntervalAccumulator:
 _EMPTY = IntervalSet()
 
 
-def segment_axis(boundaries: Sequence[float], lo: float, hi: float) -> list[Interval]:
-    """Split ``[lo, hi]`` into segments at the given boundary times.
+def segment_points(boundaries: Sequence[float], lo: float, hi: float) -> list[float]:
+    """Deduplicated cut points partitioning ``[lo, hi]`` at ``boundaries``.
 
-    Used by the observation-time discretization (Sec. IV-A, Fig. 5): the
-    boundaries of all fault detection intervals partition the time axis into
-    segments within which the detected fault set is constant.
-    Boundaries outside ``[lo, hi]`` are ignored; duplicates are collapsed.
+    The sorted point list always starts at ``lo`` and ends at ``hi``;
+    consecutive points differ by more than ``EPS`` (duplicate interval
+    endpoints collapse), so every implied segment has positive length.
+    Boundaries outside ``[lo, hi]`` are ignored.  Returns ``[]`` when the
+    window itself is empty.  This is the sweep-line skeleton shared by
+    :func:`segment_axis` and the vectorized observation-time discretization
+    (Sec. IV-A).
     """
     if hi <= lo:
         return []
@@ -330,5 +333,17 @@ def segment_axis(boundaries: Sequence[float], lo: float, hi: float) -> list[Inte
         if not dedup or p - dedup[-1] > EPS:
             dedup.append(p)
     if len(dedup) < 2:
-        return [Interval(lo, hi)]
-    return [Interval(a, b) for a, b in zip(dedup, dedup[1:])]
+        return [lo, hi]
+    return dedup
+
+
+def segment_axis(boundaries: Sequence[float], lo: float, hi: float) -> list[Interval]:
+    """Split ``[lo, hi]`` into segments at the given boundary times.
+
+    Used by the observation-time discretization (Sec. IV-A, Fig. 5): the
+    boundaries of all fault detection intervals partition the time axis into
+    segments within which the detected fault set is constant.
+    Boundaries outside ``[lo, hi]`` are ignored; duplicates are collapsed.
+    """
+    pts = segment_points(boundaries, lo, hi)
+    return [Interval(a, b) for a, b in zip(pts, pts[1:])]

@@ -85,3 +85,41 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table III" in out
         assert "F_99" in out
+
+    def test_bench_missing_baselines(self, tmp_path, capsys):
+        rc = main(["bench", "--root", str(tmp_path)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "BENCH_detection.json" in err
+        assert "BENCH_schedule.json" in err
+
+    def test_bench_table(self, tmp_path, monkeypatch, capsys):
+        # Synthetic baselines + stubbed measurement keep this test fast;
+        # the real workloads are exercised by benchmarks/ and pytest -m perf.
+        import json
+
+        import repro.cli as cli
+        import repro.experiments.runner as runner
+
+        baseline = {"profile": "quick",
+                    "circuits": {"s9234": {"total_s": 0.1},
+                                 "s13207": {"total_s": 0.2}}}
+        (tmp_path / "BENCH_detection.json").write_text(json.dumps(baseline))
+        (tmp_path / "BENCH_schedule.json").write_text(json.dumps(baseline))
+        monkeypatch.setattr(runner, "run_suite",
+                            lambda cfg: {n: object() for n in cfg.names})
+        monkeypatch.setattr(cli, "_bench_detection_current", lambda res: 0.15)
+        monkeypatch.setattr(cli, "_bench_schedule_current", lambda res: 0.1)
+
+        rc = main(["bench", "--root", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "current vs committed" in out
+        assert out.count("total") == 2          # one summary row per stage
+        # detection: 0.15s vs 0.1s committed -> +50%
+        assert "50.0" in out
+        # schedule stage can be selected alone
+        assert main(["bench", "--root", str(tmp_path),
+                     "--stage", "schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "detection" not in out

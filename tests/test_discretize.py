@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.scheduling.discretize import discretize_observation_times
+from repro.scheduling.discretize import (
+    discretize_candidate_set,
+    discretize_observation_times,
+)
+from repro.scheduling.reference import discretize_observation_times_reference
+from repro.utils.bitset import matrix_bits
 from repro.utils.intervals import IntervalSet
 
 
@@ -78,6 +83,49 @@ class TestEdgeCases:
         times = [c.time for c in cands]
         assert times == sorted(times)
 
+    def test_degenerate_window_yields_no_candidates(self):
+        # Zero-length observation window: every segment is degenerate and
+        # must be masked out rather than becoming a zero-length candidate.
+        ranges = {1: iset((1.0, 9.0))}
+        assert discretize_observation_times(ranges, 5.0, 5.0) == []
+        cs = discretize_candidate_set(ranges, 5.0, 5.0)
+        assert cs.candidates == ()
+        assert cs.matrix.shape[0] == 0
+
+    def test_candidate_segments_have_positive_length(self):
+        ranges = {1: iset((1.0, 4.0)), 2: iset((4.0, 4.0 + 1e-12)),
+                  3: iset((6.0, 9.0))}
+        for c in discretize_observation_times(ranges, 0.0, 10.0,
+                                              prune_dominated=False):
+            assert c.segment.length > 0.0
+
+
+class TestPackedView:
+    def test_matrix_rows_match_candidate_sets(self):
+        ranges = {1: iset((1.0, 4.0)), 2: iset((3.0, 7.0)),
+                  3: iset((6.0, 9.0))}
+        cs = discretize_candidate_set(ranges, 0.0, 10.0,
+                                      prune_dominated=False)
+        assert cs.matrix.shape[0] == len(cs.candidates)
+        for cand, bits in zip(cs.candidates, matrix_bits(cs.matrix)):
+            assert frozenset(cs.fault_ids[b] for b in bits) == cand.faults
+
+    def test_masks_are_python_ints(self):
+        ranges = {1: iset((1.0, 4.0)), 2: iset((3.0, 7.0))}
+        cs = discretize_candidate_set(ranges, 0.0, 10.0)
+        for cand, mask in zip(cs.candidates, cs.masks):
+            assert isinstance(mask, int)
+            assert mask.bit_count() == cand.fault_count
+
+    def test_times_are_native_floats(self):
+        # numpy scalars leaking out of the sweep broke schedule export once;
+        # candidate times and segment bounds must be plain floats.
+        ranges = {1: iset((1.0, 4.0)), 2: iset((3.0, 7.0))}
+        for c in discretize_observation_times(ranges, 0.0, 10.0):
+            assert type(c.time) is float
+            assert type(c.segment.lo) is float
+            assert type(c.segment.hi) is float
+
 
 finite = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
 
@@ -122,3 +170,18 @@ def test_property_no_candidate_dominated_after_pruning(ranges):
         for j, b in enumerate(pruned):
             if i != j:
                 assert not (a.faults < b.faults)
+
+
+@given(fault_ranges(), st.booleans())
+def test_property_matches_reference_discretization(ranges, prune):
+    """Sweep-line bit matrix ≡ seed per-segment frozenset construction."""
+    new = discretize_observation_times(ranges, 0.0, 100.0,
+                                       prune_dominated=prune)
+    ref = discretize_observation_times_reference(ranges, 0.0, 100.0,
+                                                 prune_dominated=prune)
+    assert [c.faults for c in new] == [c.faults for c in ref]
+    assert [c.time for c in new] == pytest.approx(
+        [c.time for c in ref], abs=1e-9)
+    assert ([(c.segment.lo, c.segment.hi) for c in new]
+            == pytest.approx([(c.segment.lo, c.segment.hi) for c in ref],
+                             abs=1e-9))

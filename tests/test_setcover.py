@@ -10,6 +10,7 @@ from repro.scheduling.setcover import (
     branch_and_bound_cover,
     greedy_cover,
     ilp_cover,
+    presolve_cover,
 )
 
 
@@ -34,6 +35,28 @@ class TestCoverProblem:
         assert p.required_count(0.51) == 3
         with pytest.raises(ValueError):
             p.required_count(0.0)
+
+    def test_required_count_edge_cases(self):
+        p = problem({1}, {2}, {3}, {4})
+        # A hair below 1.0 must not round the full count down...
+        assert p.required_count(1.0 - 1e-15) == 4
+        # ...and exact fractions must not round up through float noise.
+        assert p.required_count(0.75) == 3
+        assert p.required_count(0.25) == 1
+        # Tiny coverage collapses to "nothing required": all solvers agree
+        # the empty selection is optimal.
+        assert p.required_count(1e-12) == 0
+        assert greedy_cover(p, coverage=1e-12) == []
+        assert ilp_cover(p, coverage=1e-12) == []
+        assert branch_and_bound_cover(p, coverage=1e-12) == []
+        with pytest.raises(ValueError):
+            p.required_count(1.0 + 1e-9)
+
+    def test_uncoverable_report_is_deterministic_and_complete(self):
+        with pytest.raises(ValueError) as exc:
+            CoverProblem(subsets=[frozenset({1})],
+                         universe=frozenset({1, 2, 4, 3}))
+        assert "3 universe elements not coverable: [2, 3, 4]" in str(exc.value)
 
     def test_covered_by(self):
         p = problem({1, 2}, {2, 3})
@@ -77,6 +100,51 @@ class TestIlp:
 
     def test_empty_problem(self):
         assert ilp_cover(CoverProblem(subsets=[])) == []
+
+
+class TestPresolve:
+    def test_solved_outright_by_domination_and_essentials(self):
+        # {1}, {2} are dominated by {1, 2, 3}; element 3 then makes the big
+        # subset essential — presolve finishes without any ILP component.
+        p = problem({1, 2, 3}, {1}, {2})
+        red = presolve_cover(p)
+        assert red.solved
+        assert red.forced == (0,)
+        assert red.stats["dominated_columns"] == 2
+        assert red.stats["essential_columns"] == 1
+
+    def test_duplicate_columns_keep_lowest_index(self):
+        p = problem({1, 2}, {1, 2}, {3})
+        red = presolve_cover(p)
+        assert red.forced == (0, 2)
+        assert red.solved
+
+    def test_forced_columns_in_every_solution(self):
+        # Element 5 is only coverable by subset 2: every cover contains it.
+        p = problem({1, 2}, {2, 3}, {5}, {1, 3})
+        red = presolve_cover(p)
+        assert 2 in red.forced
+        assert 2 in ilp_cover(p)
+        assert 2 in branch_and_bound_cover(p)
+
+    def test_component_splitting(self):
+        # Two independent blocks over disjoint elements.
+        p = problem({1, 2}, {2, 3}, {1, 3}, {10, 11}, {11, 12}, {10, 12})
+        red = presolve_cover(p)
+        assert len(red.components) == 2
+        cols_a, _masks_a, _ = red.components[0]
+        cols_b, _masks_b, _ = red.components[1]
+        assert set(cols_a) | set(cols_b) <= {0, 1, 2, 3, 4, 5}
+        assert set(cols_a).isdisjoint(cols_b)
+        # The split instance still solves to the global optimum.
+        assert len(ilp_cover(p)) == len(ilp_cover(p, presolve=False))
+
+    def test_reduction_reconstructs_feasible_cover(self):
+        p = problem({1, 2, 3, 4}, {5, 6, 7}, {1, 2, 5, 6}, {3, 4, 7},
+                    {1, 5}, {2, 6})
+        chosen = ilp_cover(p)
+        assert p.covered_by(chosen) >= p.universe
+        assert len(chosen) == len(ilp_cover(p, presolve=False))
 
 
 class TestBranchAndBound:
@@ -127,3 +195,30 @@ def test_property_partial_coverage_feasible(p, coverage):
     assert len(p.covered_by(chosen)) >= p.required_count(coverage)
     # Partial cover never needs more subsets than a full cover.
     assert len(chosen) <= len(ilp_cover(p))
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_problems())
+def test_property_presolve_is_lossless(p):
+    """Presolved and seed ILPs find equal-cardinality covers (§9 claim)."""
+    reduced = ilp_cover(p, presolve=True)
+    seed = ilp_cover(p, presolve=False)
+    exact = branch_and_bound_cover(p)
+    assert p.covered_by(reduced) >= p.universe
+    assert len(reduced) == len(seed) == len(exact)
+    red = presolve_cover(p)
+    assert set(red.forced) <= set(reduced)
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_problems(), st.floats(min_value=0.3, max_value=0.95))
+def test_property_partial_solvers_agree(p, coverage):
+    """Aggregated partial ILP stays exact: matches B&B, never beats it."""
+    need = p.required_count(coverage)
+    exact_ilp = ilp_cover(p, coverage=coverage)
+    exact_bb = branch_and_bound_cover(p, coverage=coverage)
+    heur = greedy_cover(p, coverage=coverage)
+    for chosen in (exact_ilp, exact_bb, heur):
+        assert len(p.covered_by(chosen)) >= need
+    assert len(exact_ilp) == len(exact_bb)
+    assert len(exact_ilp) <= len(heur)

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro.atpg.patterns import PatternPair, TestSet
+from repro.utils.bitset import masks_to_matrix, num_words
 
 
 def reverse_order_drop(num_patterns: int,
@@ -25,20 +28,37 @@ def reverse_order_drop(num_patterns: int,
     ``p`` detects the fault.  Patterns are considered from last to first; a
     pattern is kept iff some fault is detected by it and by no already-kept
     pattern.  Returns kept indices in ascending order.
+
+    Implementation: the fault masks are packed into a ``(faults, words)``
+    bit matrix and transposed into one *fault-index row per pattern*, so
+    the reverse scan tracks the set of already-covered **faults** as a
+    packed word row — the seed's per-pattern rescan of the whole mask list
+    becomes one ``row & ~covered`` word test.
     """
-    masks = [m for m in fault_masks if m]
-    kept_union = 0
+    if num_patterns <= 0:
+        return []
+    full = (1 << num_patterns) - 1
+    masks = [t for m in fault_masks if (t := m & full)]
+    if not masks:
+        return []
+    fault_mat = masks_to_matrix(masks, num_patterns)
+    # (faults, patterns) bit plane → transpose → (patterns, fault-words).
+    plane = np.unpackbits(fault_mat.view(np.uint8), axis=1,
+                          bitorder="little")[:, :num_patterns]
+    packed = np.packbits(np.ascontiguousarray(plane.T), axis=1,
+                         bitorder="little")
+    wf = num_words(len(masks))
+    pad = wf * 8 - packed.shape[1]
+    if pad:
+        packed = np.pad(packed, ((0, 0), (0, pad)))
+    pattern_rows = packed.view(np.uint64)
+    covered = np.zeros(wf, dtype=np.uint64)
     kept: list[int] = []
     for p in range(num_patterns - 1, -1, -1):
-        bit = 1 << p
-        useful = False
-        for m in masks:
-            if m & bit and not m & kept_union:
-                useful = True
-                break
-        if useful:
+        row = pattern_rows[p]
+        if np.any(row & ~covered):
             kept.append(p)
-            kept_union |= bit
+            covered |= row
     kept.reverse()
     return kept
 

@@ -94,7 +94,15 @@ class TestSet:
             self.append(p)
 
     def filled(self, *, seed: int = 0) -> "TestSet":
-        """Fill all don't-cares deterministically."""
+        """Fill all don't-cares deterministically.
+
+        Returns ``self`` when every pattern is already fully specified —
+        the common case for random-phase batches and re-grading of
+        deterministic patterns, where a fresh copy (and the RNG setup)
+        would be pure overhead.
+        """
+        if not any(p.has_dont_cares for p in self.patterns):
+            return self
         rng = random.Random(seed)
         return TestSet(self.circuit, (p.filled(rng) for p in self.patterns))
 

@@ -60,10 +60,47 @@ class Podem:
                                   for op in circuit.observation_points()})
         self._obs_set = set(self._obs_gates)
         self.stats = PodemStats()
-        # Incremental implication state: persistent good-machine values and
-        # per-source fanout cones in evaluation order.
+        # Incremental implication state: persistent good-machine values,
+        # flattened per-gate (kind, fanin, combinational fanout) tables, a
+        # scratch scheduled-bitmap, and memoized per-site cone plans /
+        # in-cone observation gates for the fault-effect passes.
         self._good = self._fresh_values()
-        self._cone_order: dict[int, list[int]] = {}
+        self._plans: dict[int, list[tuple[int, str, tuple[int, ...]]]] = {}
+        self._obs_cone: dict[int, list[int]] = {}
+        self._touched = bytearray(len(circuit.gates))
+        gates = circuit.gates
+        self._gk = [g.kind for g in gates]
+        self._gf = [g.fanin for g in gates]
+        self._gfo = [
+            sorted({v for v, _pin in circuit.fanouts(i)
+                    if GateKind.is_combinational(gates[v].kind)})
+            for i in range(len(gates))
+        ]
+        # Levelized event queues: level = 1 + max fanin level, so scanning
+        # buckets in ascending level order is a valid topological schedule
+        # with plain list appends instead of heap operations.
+        self._lvl = [circuit.level(i) for i in range(len(gates))]
+        self._buckets: list[list[int]] = [
+            [] for _ in range(circuit.depth + 1)]
+        # Ternary truth tables up to arity 4, indexed radix-3
+        # (((a*3 + b)*3 + c)*3 + d); shared per (kind, arity).  Wider gates
+        # fall back to `eval_ternary`.
+        table_memo: dict[tuple[str, int], tuple[int, ...]] = {}
+        self._tab: list[tuple[int, ...] | None] = []
+        for g in gates:
+            arity = len(g.fanin)
+            if not GateKind.is_combinational(g.kind) or arity > 4:
+                self._tab.append(None)
+                continue
+            key = (g.kind, arity)
+            tab = table_memo.get(key)
+            if tab is None:
+                values = [[]]
+                for _ in range(arity):
+                    values = [v + [x] for v in values for x in (0, 1, X)]
+                tab = tuple(eval_ternary(g.kind, v) for v in values)
+                table_memo[key] = tab
+            self._tab.append(tab)
 
     def _fresh_values(self) -> list[int]:
         values = [X] * len(self.circuit.gates)
@@ -74,21 +111,90 @@ class Podem:
                 values[g.index] = 1
         return values
 
-    def _cone_of(self, src: int) -> list[int]:
-        if src not in self._cone_order:
-            cone = self.circuit.fanout_cone(src)
-            self._cone_order[src] = [i for i in self._order if i in cone]
-        return self._cone_order[src]
+    def _plan_of(self, site: int) -> list[tuple[int, str, tuple[int, ...]]]:
+        """Topo-ordered ``(gate, kind, fanin)`` rows of ``site``'s cone."""
+        plan = self._plans.get(site)
+        if plan is None:
+            gates = self.circuit.gates
+            plan = [(i, gates[i].kind, gates[i].fanin)
+                    for i in self.circuit.cone_schedule(site)]
+            self._plans[site] = plan
+        return plan
 
-    def _set_source(self, src: int, value: int) -> None:
-        """Assign (or clear, with X) a source and re-imply its cone."""
+    def _set_source(self, src: int, value: int) -> list[tuple[int, int]]:
+        """Assign (or clear, with X) a source and re-imply its cone.
+
+        Event-driven selective trace: gates are scheduled through the
+        fanout adjacency and popped in topological order (heap on topo
+        position), so only the region whose values actually change is
+        visited — not the whole fanout cone of the source.
+
+        Returns the undo log — ``(gate, previous value)`` for every gate
+        that changed — so chronological backtracking can restore the exact
+        prior state without re-evaluating anything (see :meth:`_undo`).
+        """
         good = self._good
+        if good[src] == value:
+            return []
+        log = [(src, good[src])]
         good[src] = value
-        gates = self.circuit.gates
-        for idx in self._cone_of(src):
-            g = gates[idx]
-            fanin = g.fanin
-            good[idx] = eval_ternary(g.kind, [good[s] for s in fanin])
+        gk, gf, gfo, tab, lvl = (self._gk, self._gf, self._gfo, self._tab,
+                                 self._lvl)
+        sched = self._touched
+        buckets = self._buckets
+        dirty: list[int] = []
+        hi = 0
+        for v in gfo[src]:
+            sched[v] = 1
+            dirty.append(v)
+            level = lvl[v]
+            buckets[level].append(v)
+            if level > hi:
+                hi = level
+        lv = 0
+        while lv <= hi:
+            bucket = buckets[lv]
+            if bucket:
+                for idx in bucket:
+                    f = gf[idx]
+                    t = tab[idx]
+                    if t is None:
+                        new = eval_ternary(gk[idx], [good[s] for s in f])
+                    else:
+                        n = len(f)
+                        if n == 2:
+                            new = t[good[f[0]] * 3 + good[f[1]]]
+                        elif n == 1:
+                            new = t[good[f[0]]]
+                        elif n == 3:
+                            new = t[(good[f[0]] * 3 + good[f[1]]) * 3
+                                    + good[f[2]]]
+                        else:
+                            new = t[((good[f[0]] * 3 + good[f[1]]) * 3
+                                     + good[f[2]]) * 3 + good[f[3]]]
+                    old = good[idx]
+                    if new != old:
+                        log.append((idx, old))
+                        good[idx] = new
+                        for v in gfo[idx]:
+                            if not sched[v]:
+                                sched[v] = 1
+                                dirty.append(v)
+                                level = lvl[v]
+                                buckets[level].append(v)
+                                if level > hi:
+                                    hi = level
+                bucket.clear()
+            lv += 1
+        for i in dirty:
+            sched[i] = 0
+        return log
+
+    def _undo(self, log: list[tuple[int, int]]) -> None:
+        """Restore the good-machine values recorded by :meth:`_set_source`."""
+        good = self._good
+        for idx, old in log:
+            good[idx] = old
 
     # ------------------------------------------------------------------
     # Public API
@@ -103,12 +209,13 @@ class Podem:
         self.stats = PodemStats()
         self._reset()
         assignment: dict[int, int] = {}
-        stack: list[tuple[int, int, bool]] = []  # (source, value, flipped)
+        # (source, value, flipped, undo log)
+        stack: list[tuple[int, int, bool, list[tuple[int, int]]]] = []
         try:
             while True:
                 good = self._good
                 faulty = self._faulty(fault)
-                if self._detected(good, faulty):
+                if self._detected(good, faulty, fault.site.gate):
                     return dict(assignment)
                 objective = self._objective(good, faulty, fault)
                 if objective is None:
@@ -120,14 +227,15 @@ class Podem:
                     continue
                 src, val = decision
                 assignment[src] = val
-                self._set_source(src, val)
-                stack.append((src, val, False))
+                stack.append((src, val, False, self._set_source(src, val)))
                 self.stats.decisions += 1
         except Untestable:
             return None
         except Aborted:
             self.stats.aborted = True
             return None
+        finally:
+            self._unwind(stack)
 
     def justify_all(self, objectives: list[tuple[int, int]]
                     ) -> dict[int, int] | None:
@@ -150,9 +258,9 @@ class Podem:
             else:
                 pending.append((gate, value))
         self._reset()
-        for src, val in assignment.items():
-            self._set_source(src, val)
-        stack: list[tuple[int, int, bool]] = []
+        base_logs = [self._set_source(src, val)
+                     for src, val in assignment.items()]
+        stack: list[tuple[int, int, bool, list[tuple[int, int]]]] = []
         try:
             while True:
                 good = self._good
@@ -169,14 +277,17 @@ class Podem:
                     continue
                 src, val = decision
                 assignment[src] = val
-                self._set_source(src, val)
-                stack.append((src, val, False))
+                stack.append((src, val, False, self._set_source(src, val)))
                 self.stats.decisions += 1
         except Untestable:
             return None
         except Aborted:
             self.stats.aborted = True
             return None
+        finally:
+            self._unwind(stack)
+            for log in reversed(base_logs):
+                self._undo(log)
 
     def justify(self, gate: int, value: int) -> dict[int, int] | None:
         """Find a source assignment making ``gate``'s output equal ``value``.
@@ -189,7 +300,7 @@ class Podem:
             return {gate: value}
         self._reset()
         assignment: dict[int, int] = {}
-        stack: list[tuple[int, int, bool]] = []
+        stack: list[tuple[int, int, bool, list[tuple[int, int]]]] = []
         try:
             while True:
                 good = self._good
@@ -204,14 +315,15 @@ class Podem:
                     continue
                 src, val = decision
                 assignment[src] = val
-                self._set_source(src, val)
-                stack.append((src, val, False))
+                stack.append((src, val, False, self._set_source(src, val)))
                 self.stats.decisions += 1
         except Untestable:
             return None
         except Aborted:
             self.stats.aborted = True
             return None
+        finally:
+            self._unwind(stack)
 
     # ------------------------------------------------------------------
     # Simulation
@@ -241,18 +353,78 @@ class Podem:
             faulty[site.gate] = eval_ternary(g.kind, ins)
         if faulty[site.gate] == good[site.gate]:
             return faulty
-        for idx in self._cone_of(site.gate):
-            cg = circuit.gates[idx]
-            faulty[idx] = eval_ternary(
-                cg.kind, [faulty[s] for s in cg.fanin])
+        # Same event-driven trace as `_set_source`: only gates downstream
+        # of an actual value change can differ from the good machine.
+        gk, gf, gfo, tab, lvl = (self._gk, self._gf, self._gfo, self._tab,
+                                 self._lvl)
+        sched = self._touched
+        buckets = self._buckets
+        dirty: list[int] = []
+        hi = 0
+        for v in gfo[site.gate]:
+            sched[v] = 1
+            dirty.append(v)
+            level = lvl[v]
+            buckets[level].append(v)
+            if level > hi:
+                hi = level
+        lv = 0
+        while lv <= hi:
+            bucket = buckets[lv]
+            if bucket:
+                for idx in bucket:
+                    f = gf[idx]
+                    t = tab[idx]
+                    if t is None:
+                        new = eval_ternary(gk[idx], [faulty[s] for s in f])
+                    else:
+                        n = len(f)
+                        if n == 2:
+                            new = t[faulty[f[0]] * 3 + faulty[f[1]]]
+                        elif n == 1:
+                            new = t[faulty[f[0]]]
+                        elif n == 3:
+                            new = t[(faulty[f[0]] * 3 + faulty[f[1]]) * 3
+                                    + faulty[f[2]]]
+                        else:
+                            new = t[((faulty[f[0]] * 3 + faulty[f[1]]) * 3
+                                     + faulty[f[2]]) * 3 + faulty[f[3]]]
+                    if new != faulty[idx]:
+                        faulty[idx] = new
+                        for v in gfo[idx]:
+                            if not sched[v]:
+                                sched[v] = 1
+                                dirty.append(v)
+                                level = lvl[v]
+                                buckets[level].append(v)
+                                if level > hi:
+                                    hi = level
+                bucket.clear()
+            lv += 1
+        for i in dirty:
+            sched[i] = 0
         return faulty
 
     # ------------------------------------------------------------------
     # PODEM machinery
     # ------------------------------------------------------------------
-    def _detected(self, good: list[int], faulty: list[int]) -> bool:
+    def _obs_in_cone(self, site_gate: int) -> list[int]:
+        """Observation gates that can ever see ``site_gate``'s fault effect
+        (the site itself plus its fanout cone, restricted to observation
+        points) — everywhere else ``good == faulty`` by construction."""
+        cached = self._obs_cone.get(site_gate)
+        if cached is None:
+            obs = self._obs_set
+            cached = [i for i in (site_gate,
+                                  *self.circuit.cone_schedule(site_gate))
+                      if i in obs]
+            self._obs_cone[site_gate] = cached
+        return cached
+
+    def _detected(self, good: list[int], faulty: list[int],
+                  site_gate: int) -> bool:
         return any(good[o] != X and faulty[o] != X and good[o] != faulty[o]
-                   for o in self._obs_gates)
+                   for o in self._obs_in_cone(site_gate))
 
     def _site_pin_value(self, good: list[int], fault: StuckAtFault) -> int:
         """Good-machine value at the faulted pin."""
@@ -282,7 +454,7 @@ class Podem:
             return None
         if good[site_gate] == faulty[site_gate]:
             return None  # effect masked at the site gate itself
-        frontier = self._d_frontier(good, faulty)
+        frontier = self._d_frontier(good, faulty, site_gate)
         if not frontier:
             return None
         if not self._x_path_exists(frontier, good, faulty):
@@ -301,14 +473,19 @@ class Podem:
                     return (src, noncontrolling)
         return None
 
-    def _d_frontier(self, good: list[int], faulty: list[int]) -> list[int]:
-        """Gates whose inputs carry a fault effect but whose output is X."""
+    def _d_frontier(self, good: list[int], faulty: list[int],
+                    site_gate: int) -> list[int]:
+        """Gates whose inputs carry a fault effect but whose output is X.
+
+        D-values only exist on the site gate and inside its fanout cone, so
+        the scan walks the memoized (topo-ordered) cone plan instead of the
+        whole circuit — same members, same order as the full-circuit sweep.
+        """
         out: list[int] = []
-        for idx in self._order:
+        for idx, _kind, fanin in self._plan_of(site_gate):
             if good[idx] != X and faulty[idx] != X:
                 continue
-            g = self.circuit.gates[idx]
-            for s in g.fanin:
+            for s in fanin:
                 if good[s] != X and faulty[s] != X and good[s] != faulty[s]:
                     out.append(idx)
                     break
@@ -367,18 +544,31 @@ class Podem:
         return (gate, value)
 
     def _backtrack(self, assignment: dict[int, int],
-                   stack: list[tuple[int, int, bool]]) -> None:
-        """Flip the most recent unflipped decision; raise when exhausted."""
+                   stack: list[tuple[int, int, bool, list[tuple[int, int]]]]
+                   ) -> None:
+        """Flip the most recent unflipped decision; raise when exhausted.
+
+        Each popped decision is rolled back by replaying its undo log —
+        direct value restoration, no cone re-evaluation.
+        """
         self.stats.backtracks += 1
         if self.stats.backtracks > self.max_backtracks:
             raise Aborted
         while stack:
-            src, val, flipped = stack.pop()
+            src, val, flipped, log = stack.pop()
             del assignment[src]
+            self._undo(log)
             if not flipped:
                 assignment[src] = 1 - val
-                self._set_source(src, 1 - val)
-                stack.append((src, 1 - val, True))
+                stack.append((src, 1 - val, True,
+                              self._set_source(src, 1 - val)))
                 return
-            self._set_source(src, X)
         raise Untestable
+
+    def _unwind(self, stack: list[tuple[int, int, bool,
+                                        list[tuple[int, int]]]]) -> None:
+        """Roll back every decision still applied (end of an attempt), so
+        the persistent good machine returns to the all-X idle state."""
+        while stack:
+            _src, _val, _flipped, log = stack.pop()
+            self._undo(log)

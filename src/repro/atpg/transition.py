@@ -17,12 +17,26 @@ over 99.9 %").  Three phases:
 Detection criterion (gross-delay / enhanced-scan model): pattern pair
 ``(v1, v2)`` detects transition fault φ iff ``v1`` sets the site to the
 initial value and ``v2`` detects the corresponding stuck-at fault.
+
+Engines: fault grading runs on the word-matrix engine of
+:class:`BitParallelSimulator` by default (``engine="matrix"``: vectorized
+levelized evaluation, activation pre-screening, cone-sharing fault
+batches, and a deterministic phase that packs each new pattern exactly
+once and drops faults incrementally).  The seed pipeline is retained
+verbatim as ``engine="reference"`` — both produce bit-identical per-fault
+detect masks and identical compacted test sets (guarded by
+``tests/test_transition_golden.py``), and the reference is the before-side
+of the persistent ``BENCH_atpg.json`` baseline.
 """
 
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro.atpg.compaction import reverse_order_drop
 from repro.atpg.patterns import PatternPair, TestSet
@@ -31,7 +45,15 @@ from repro.faults.models import TransitionFault
 from repro.faults.universe import fault_sites
 from repro.netlist.circuit import Circuit
 from repro.simulation.logic import X
-from repro.simulation.parallel_sim import BitParallelSimulator
+from repro.simulation.parallel_sim import (
+    BitParallelSimulator,
+    mask_row,
+    row_to_mask,
+)
+from repro.utils.profiling import StageTimer
+
+#: Recognized values of the ``engine`` parameter.
+ENGINES = ("matrix", "reference")
 
 
 @dataclass
@@ -72,10 +94,54 @@ def transition_fault_list(circuit: Circuit) -> list[TransitionFault]:
     return out
 
 
-def detect_masks(circuit: Circuit, sim: BitParallelSimulator,
-                 test_set: TestSet, faults: list[TransitionFault],
-                 *, seed: int = 0) -> dict[TransitionFault, int]:
-    """Per-fault bitmask of detecting patterns (bit p ↔ pattern p)."""
+def _transition_masks(circuit: Circuit, sim: BitParallelSimulator,
+                      good_launch: np.ndarray, good_capture: np.ndarray,
+                      faults: Sequence[TransitionFault],
+                      width: int) -> dict[TransitionFault, int]:
+    """Matrix-engine grading against prepacked fault-free matrices.
+
+    Activation words are read directly from the launch matrix (one gather
+    for all faults); only activated faults enter the batched stuck-at
+    propagation.
+    """
+    n = len(faults)
+    if n == 0:
+        return {}
+    mrow = mask_row(width)
+    sig = np.fromiter((f.site.signal_gate(circuit) for f in faults),
+                      dtype=np.intp, count=n)
+    act = good_launch[sig].copy()
+    falling = np.fromiter((f.launch_value == 1 for f in faults),
+                          dtype=bool, count=n)
+    act[~falling] ^= mrow  # slow-to-rise activates where v1 is 0
+    to_grade = np.flatnonzero(act.any(axis=1))
+    det = np.zeros_like(act)
+    if to_grade.size:
+        det[to_grade] = sim.stuck_at_detect_words(
+            good_capture, [faults[i].as_stuck_at() for i in to_grade], width)
+    act &= det
+    return {f: row_to_mask(act[i]) for i, f in enumerate(faults)}
+
+
+def _detect_masks_matrix(circuit: Circuit, sim: BitParallelSimulator,
+                         test_set: TestSet, faults: Sequence[TransitionFault],
+                         *, seed: int) -> dict[TransitionFault, int]:
+    filled = test_set.filled(seed=seed)
+    if not len(filled):
+        return {f: 0 for f in faults}
+    launch_m, width = sim.pack_vectors_words([p.launch for p in filled])
+    capture_m, _ = sim.pack_vectors_words([p.capture for p in filled])
+    good_launch = sim.simulate_words(launch_m, width)
+    good_capture = sim.simulate_words(capture_m, width)
+    return _transition_masks(circuit, sim, good_launch, good_capture,
+                             faults, width)
+
+
+def _detect_masks_reference(circuit: Circuit, sim: BitParallelSimulator,
+                            test_set: TestSet,
+                            faults: Sequence[TransitionFault],
+                            *, seed: int) -> dict[TransitionFault, int]:
+    """The seed grading path: big-int words, one cone walk per fault."""
     filled = test_set.filled(seed=seed)
     launch_vecs = [p.launch for p in filled]
     capture_vecs = [p.capture for p in filled]
@@ -100,6 +166,41 @@ def detect_masks(circuit: Circuit, sim: BitParallelSimulator,
     return out
 
 
+def detect_masks(circuit: Circuit, sim: BitParallelSimulator,
+                 test_set: TestSet, faults: list[TransitionFault],
+                 *, seed: int = 0,
+                 engine: str = "matrix") -> dict[TransitionFault, int]:
+    """Per-fault bitmask of detecting patterns (bit p ↔ pattern p).
+
+    Both engines return bit-identical masks; ``"matrix"`` grades all faults
+    through the vectorized word-matrix kernels, ``"reference"`` keeps the
+    seed per-fault big-int walk.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine == "reference":
+        return _detect_masks_reference(circuit, sim, test_set, faults,
+                                       seed=seed)
+    return _detect_masks_matrix(circuit, sim, test_set, faults, seed=seed)
+
+
+def _grade_pair(circuit: Circuit, sim: BitParallelSimulator,
+                pair: PatternPair, faults: Sequence[TransitionFault]
+                ) -> dict[TransitionFault, int]:
+    """Grade one fully-specified pattern pair (deterministic phase).
+
+    Packs the pair directly — no single-pattern :class:`TestSet`, no
+    redundant re-fill, no re-sorted fault list — and reuses the batched
+    matrix grading.
+    """
+    launch_m, width = sim.pack_vectors_words([pair.launch])
+    capture_m, _ = sim.pack_vectors_words([pair.capture])
+    good_launch = sim.simulate_words(launch_m, width)
+    good_capture = sim.simulate_words(capture_m, width)
+    return _transition_masks(circuit, sim, good_launch, good_capture,
+                             faults, width)
+
+
 def generate_transition_tests(
     circuit: Circuit,
     *,
@@ -110,8 +211,19 @@ def generate_transition_tests(
     stale_batches: int = 3,
     max_backtracks: int = 512,
     compact: bool = True,
+    engine: str = "matrix",
+    timer: StageTimer | None = None,
 ) -> AtpgResult:
-    """Generate a compacted transition-fault pattern-pair set."""
+    """Generate a compacted transition-fault pattern-pair set.
+
+    ``engine`` selects the fault-grading kernels (``"matrix"`` — vectorized
+    word-matrix engine with an incremental deterministic phase — or
+    ``"reference"`` — the retained seed pipeline); results are identical.
+    ``timer`` collects the per-stage wall-clock split (``random`` /
+    ``podem`` / ``grade`` / ``compact``).
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     rng = random.Random(seed)
     fault_list = faults if faults is not None else transition_fault_list(circuit)
     sim = BitParallelSimulator(circuit)
@@ -124,6 +236,7 @@ def generate_transition_tests(
     # ------------------------------------------------------------------
     # Phase 1: random patterns with fault dropping
     # ------------------------------------------------------------------
+    t0 = time.perf_counter() if timer is not None else 0.0
     stale = 0
     for _ in range(max_random_batches):
         if not undetected or stale >= stale_batches:
@@ -133,7 +246,8 @@ def generate_transition_tests(
                 tuple(rng.randint(0, 1) for _ in range(width)),
                 tuple(rng.randint(0, 1) for _ in range(width)))
             for _ in range(random_batch)))
-        masks = detect_masks(circuit, sim, batch, sorted(undetected), seed=seed)
+        masks = detect_masks(circuit, sim, batch, sorted(undetected),
+                             seed=seed, engine=engine)
         useful_bits = 0
         newly: set[TransitionFault] = set()
         for f, m in masks.items():
@@ -149,6 +263,8 @@ def generate_transition_tests(
                 test_set.append(batch[p])
         detected |= newly
         undetected -= newly
+    if timer is not None:
+        timer.add("random", time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
     # Phase 2: deterministic PODEM for remaining faults
@@ -157,6 +273,104 @@ def generate_transition_tests(
                         detected=detected)
     podem = Podem(circuit, max_backtracks=max_backtracks, seed=seed)
     sources = circuit.sources()
+    if engine == "reference":
+        _phase2_reference(circuit, sim, podem, sources, rng, undetected,
+                          result, seed=seed)
+    else:
+        _phase2_incremental(circuit, sim, podem, sources, rng, undetected,
+                            result, timer=timer)
+
+    # ------------------------------------------------------------------
+    # Phase 3: static compaction (reverse-order fault dropping)
+    # ------------------------------------------------------------------
+    test_set = result.test_set
+    if compact and len(test_set) > 1:
+        t0 = time.perf_counter() if timer is not None else 0.0
+        masks = detect_masks(circuit, sim, test_set,
+                             sorted(result.detected), seed=seed,
+                             engine=engine)
+        kept = reverse_order_drop(len(test_set), masks.values())
+        result.test_set = test_set.subset(kept)
+        if timer is not None:
+            timer.add("compact", time.perf_counter() - t0)
+
+    return result
+
+
+def _phase2_incremental(circuit: Circuit, sim: BitParallelSimulator,
+                        podem: Podem, sources: list[int],
+                        rng: random.Random,
+                        undetected: set[TransitionFault],
+                        result: AtpgResult, *,
+                        timer: StageTimer | None) -> None:
+    """Deterministic phase on the matrix engine.
+
+    The fault list is sorted once; each new pattern is packed exactly once
+    and graded against the still-undetected faults through the activation
+    pre-screen and cone-sharing batches.  Drops are applied incrementally
+    to the ``alive`` list instead of re-sorting ``remaining`` per pattern
+    — the seed's O(|F|²·log|F|) resort/regrade loop becomes O(|F|·|P_det|)
+    list filtering plus the (pre-screened) grading itself.
+    """
+    test_set = result.test_set
+    worklist = sorted(undetected)
+    remaining = set(undetected)
+    alive = list(worklist)  # invariant: worklist order, alive == remaining
+    for f in worklist:
+        if f not in remaining:
+            continue  # dropped by an earlier deterministic pattern
+        t0 = time.perf_counter() if timer is not None else 0.0
+        capture_assign = podem.generate(f.as_stuck_at())
+        if capture_assign is None:
+            (result.aborted if podem.stats.aborted
+             else result.untestable).add(f)
+            remaining.discard(f)
+            alive.remove(f)
+            if timer is not None:
+                timer.add("podem", time.perf_counter() - t0)
+            continue
+        launch_assign = podem.justify(f.site.signal_gate(circuit),
+                                      f.launch_value)
+        if launch_assign is None:
+            (result.aborted if podem.stats.aborted
+             else result.untestable).add(f)
+            remaining.discard(f)
+            alive.remove(f)
+            if timer is not None:
+                timer.add("podem", time.perf_counter() - t0)
+            continue
+        launch = tuple(launch_assign.get(s, X) for s in sources)
+        capture = tuple(capture_assign.get(s, X) for s in sources)
+        pair = PatternPair(launch, capture).filled(rng)
+        if timer is not None:
+            t1 = time.perf_counter()
+            timer.add("podem", t1 - t0)
+        # Fault dropping: grade the new pattern against *all* remaining
+        # faults so later PODEM calls are skipped for collaterally
+        # detected ones.
+        masks = _grade_pair(circuit, sim, pair, alive)
+        if timer is not None:
+            timer.add("grade", time.perf_counter() - t1)
+        if masks[f]:
+            test_set.append(pair)
+            dropped = {g for g, m in masks.items() if m}
+            result.detected |= dropped
+            remaining -= dropped
+            alive = [g for g in alive if g not in dropped]
+        else:
+            # Random fill spoiled the sensitization; treat as aborted.
+            result.aborted.add(f)
+            remaining.discard(f)
+            alive.remove(f)
+
+
+def _phase2_reference(circuit: Circuit, sim: BitParallelSimulator,
+                      podem: Podem, sources: list[int], rng: random.Random,
+                      undetected: set[TransitionFault],
+                      result: AtpgResult, *, seed: int) -> None:
+    """The seed deterministic phase, retained verbatim: every pattern
+    re-sorts and re-grades ``remaining`` through the big-int engine."""
+    test_set = result.test_set
     worklist = sorted(undetected)
     remaining = set(undetected)
     for f in worklist:
@@ -178,11 +392,9 @@ def generate_transition_tests(
         launch = tuple(launch_assign.get(s, X) for s in sources)
         capture = tuple(capture_assign.get(s, X) for s in sources)
         pair = PatternPair(launch, capture).filled(rng)
-        # Fault dropping: grade the new pattern against *all* remaining
-        # faults so later PODEM calls are skipped for collaterally
-        # detected ones.
         masks = detect_masks(circuit, sim, TestSet(circuit, [pair]),
-                             sorted(remaining), seed=seed)
+                             sorted(remaining), seed=seed,
+                             engine="reference")
         if masks[f]:
             test_set.append(pair)
             dropped = {g for g, m in masks.items() if m}
@@ -192,14 +404,3 @@ def generate_transition_tests(
             # Random fill spoiled the sensitization; treat as aborted.
             result.aborted.add(f)
             remaining.discard(f)
-
-    # ------------------------------------------------------------------
-    # Phase 3: static compaction (reverse-order fault dropping)
-    # ------------------------------------------------------------------
-    if compact and len(test_set) > 1:
-        masks = detect_masks(circuit, sim, test_set,
-                             sorted(result.detected), seed=seed)
-        kept = reverse_order_drop(len(test_set), masks.values())
-        result.test_set = test_set.subset(kept)
-
-    return result

@@ -10,17 +10,18 @@ Subcommands:
   prediction for a circuit.
 * ``generate``— emit a synthetic benchmark circuit as ``.bench``.
 * ``bench``   — re-measure the perf-baseline workloads and print current
-  vs committed (``BENCH_detection.json`` / ``BENCH_schedule.json``) deltas.
+  vs committed (``BENCH_detection.json`` / ``BENCH_schedule.json`` /
+  ``BENCH_atpg.json``) deltas.
 
 Examples::
 
     python -m repro flow s27
     python -m repro flow my_design.bench --monitor-fraction 0.5
-    python -m repro tables --suite s9234 s13207 --scale 0.6
+    python -m repro tables --suite s9234 s13207 --scale 0.6 --jobs 4
     python -m repro fig3 s13207
     python -m repro aging s27 --marginal 2
     python -m repro generate demo.bench --gates 200 --ffs 32
-    python -m repro bench --stage schedule
+    python -m repro bench --stage atpg
 """
 
 from __future__ import annotations
@@ -102,6 +103,10 @@ def cmd_tables(args: argparse.Namespace) -> int:
         e.name for e in paper_suite())
     cfg = SuiteRunConfig(names=names, scale=args.scale, with_schedules=True,
                          with_coverage_schedules=args.table3)
+    if args.jobs is not None:
+        from dataclasses import replace
+
+        cfg = replace(cfg, jobs=max(1, args.jobs))
     print(format_table(table1_rows(cfg), title="Table I"))
     print(format_table(table2_rows(cfg), title="Table II"))
     if args.table3:
@@ -212,6 +217,20 @@ def _bench_schedule_current(res) -> float:
     return best
 
 
+def _bench_atpg_current(res) -> float:
+    import time
+
+    from repro.atpg.transition import generate_transition_tests
+
+    best = float("inf")
+    for _ in range(2):       # warm-up + measured (cone caches fill once)
+        t0 = time.perf_counter()
+        generate_transition_tests(res.circuit, seed=FlowConfig().atpg_seed,
+                                  engine="matrix")
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -222,6 +241,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     stages = {
         "detection": (root / "BENCH_detection.json", _bench_detection_current),
         "schedule": (root / "BENCH_schedule.json", _bench_schedule_current),
+        "atpg": (root / "BENCH_atpg.json", _bench_atpg_current),
     }
     if args.stage != "all":
         stages = {args.stage: stages[args.stage]}
@@ -297,6 +317,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--scale", type=float, default=1.0)
     p_tables.add_argument("--table3", action="store_true",
                           help="also compute the coverage-target sweep")
+    p_tables.add_argument("--jobs", type=int, default=None,
+                          help="worker processes across suite circuits "
+                               "(default: REPRO_JOBS or 1)")
     p_tables.set_defaults(func=cmd_tables)
 
     p_fig3 = sub.add_parser("fig3", help="coverage vs f_max sweep")
@@ -326,7 +349,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench", help="re-measure perf baselines and print deltas")
-    p_bench.add_argument("--stage", choices=("all", "detection", "schedule"),
+    p_bench.add_argument("--stage",
+                         choices=("all", "detection", "schedule", "atpg"),
                          default="all")
     p_bench.add_argument("--root", type=Path, default=None,
                          help="directory holding the BENCH_*.json baselines "

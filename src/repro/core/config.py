@@ -49,6 +49,9 @@ class FlowConfig:
     #: Fault-simulation engine: "incremental" (default) or "reference"
     #: (seed full-cone resweep; bit-identical, kept for cross-checking).
     simulation_engine: str = "incremental"
+    #: ATPG fault-grading engine: "matrix" (vectorized word-matrix kernels)
+    #: or "reference" (seed big-int pipeline; identical test sets).
+    atpg_engine: str = "matrix"
     #: Coverage targets for Table III style relaxed schedules.
     coverage_targets: tuple[float, ...] = field(default=(0.99, 0.98, 0.95, 0.90))
 
@@ -66,5 +69,7 @@ class FlowConfig:
         if self.simulation_engine not in ("incremental", "reference"):
             raise ValueError(
                 f"unknown simulation_engine {self.simulation_engine!r}")
+        if self.atpg_engine not in ("matrix", "reference"):
+            raise ValueError(f"unknown atpg_engine {self.atpg_engine!r}")
         if any(not 0.0 < c <= 1.0 for c in self.coverage_targets):
             raise ValueError("coverage targets must lie in (0, 1]")

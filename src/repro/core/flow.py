@@ -94,7 +94,9 @@ class HdfTestFlow:
         atpg = None
         if test_set is None:
             note("transition-fault ATPG")
-            atpg = generate_transition_tests(self.circuit, seed=cfg.atpg_seed)
+            atpg = generate_transition_tests(self.circuit, seed=cfg.atpg_seed,
+                                             engine=cfg.atpg_engine,
+                                             timer=timer)
             test_set = atpg.test_set
         if cfg.pattern_cap is not None and len(test_set) > cfg.pattern_cap:
             test_set = test_set.subset(range(cfg.pattern_cap))

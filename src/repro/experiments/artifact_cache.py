@@ -1,0 +1,129 @@
+"""Persistent on-disk cache for completed flow results.
+
+Repeated table/figure/benchmark drivers replay the same (circuit, scale,
+config) flows; the in-process cache of :mod:`repro.experiments.runner` only
+helps within one interpreter.  This module persists each
+:class:`repro.core.results.FlowResult` to disk, keyed by a sha256 of
+
+* the circuit name and scale,
+* the full :class:`FlowConfig` fingerprint *minus* the worker-count knobs
+  (``simulation_jobs`` / ``schedule_jobs`` — results are bit-identical for
+  any job count, so caching under one key prevents re-runs under another),
+* the requested schedule flags, and
+* :data:`CACHE_VERSION` — the "code version" salt; bump it whenever a flow
+  stage changes semantically so stale artifacts can never be replayed.
+
+Environment knobs:
+
+* ``REPRO_FLOW_CACHE=0`` disables the disk cache entirely (in-memory
+  caching is unaffected);
+* ``REPRO_CACHE_DIR`` overrides the cache directory (default:
+  ``<repo root>/.repro_cache``).
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers of the
+parallel suite runner can share one directory safely; loads tolerate
+corrupt/truncated entries by treating them as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import fields
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import FlowConfig
+
+#: Bump on any semantic change to flow stages — invalidates all entries.
+CACHE_VERSION = 1
+
+#: FlowConfig fields excluded from the key: they cannot change the result.
+_NON_SEMANTIC_FIELDS = frozenset({"simulation_jobs", "schedule_jobs"})
+
+
+def cache_enabled() -> bool:
+    """Disk cache toggle (``REPRO_FLOW_CACHE``, default on)."""
+    return os.environ.get("REPRO_FLOW_CACHE", "1") not in ("0", "off", "no")
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    # src/repro/experiments/artifact_cache.py -> repo root is 3 levels up
+    # from the package directory.
+    return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+def config_fingerprint(config: FlowConfig) -> dict[str, Any]:
+    """JSON-serializable view of the semantically relevant config fields."""
+    out: dict[str, Any] = {}
+    for f in fields(config):
+        if f.name in _NON_SEMANTIC_FIELDS:
+            continue
+        value = getattr(config, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        out[f.name] = value
+    return out
+
+
+def flow_key(circuit_name: str, scale: float, config: FlowConfig,
+             *, with_schedules: bool, with_coverage_schedules: bool) -> str:
+    """Stable hex digest identifying one flow execution."""
+    payload = {
+        "version": CACHE_VERSION,
+        "circuit": circuit_name,
+        "scale": scale,
+        "config": config_fingerprint(config),
+        "with_schedules": with_schedules,
+        "with_coverage_schedules": with_coverage_schedules,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ArtifactCache:
+    """Pickle-per-entry artifact store with atomic writes."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key[:2]}" / f"{key}.pkl"
+
+    def load(self, key: str) -> Any | None:
+        """Return the stored object, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            return None
+
+    def store(self, key: str, obj: Any) -> None:
+        """Atomically persist ``obj`` under ``key`` (best effort)."""
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent,
+                                       prefix=path.name, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # Read-only filesystems / quota: caching is an optimization,
+            # never a hard failure.
+            pass

@@ -1,14 +1,24 @@
-"""Shared suite runner with in-process caching.
+"""Shared suite runner with in-process, on-disk and multi-process reuse.
 
 All table/figure drivers replay the same flow over the (scaled) evaluation
 suite; the runner executes each circuit once per parameterization and caches
-the :class:`FlowResult` so Table I/II/III and Fig. 3 drivers — and the
-benchmark harness, which calls them repeatedly — share the expensive fault
-simulation.
+the :class:`FlowResult` at three levels:
+
+* **in-process** — keyed by the full :class:`SuiteRunConfig` (including the
+  effective job count, so runs under different ``REPRO_JOBS`` settings never
+  alias each other's timer splits);
+* **on disk** — via :mod:`repro.experiments.artifact_cache`, so repeated
+  table/bench invocations skip completed flows across processes and
+  sessions (results are identical for any job count, hence the disk key
+  excludes it);
+* **across workers** — with ``jobs > 1`` the circuits fan out over a fork
+  process pool; each worker runs its flow with in-process stage parallelism
+  disabled (no nested pools) and ships back ``(result, timer)``.
 """
 
 from __future__ import annotations
 
+import multiprocessing as mp
 import os
 from dataclasses import dataclass, field, replace
 
@@ -16,12 +26,21 @@ from repro.circuits.library import QUICK_SUITE_NAMES, paper_suite, suite_circuit
 from repro.core.config import FlowConfig
 from repro.core.flow import HdfTestFlow
 from repro.core.results import FlowResult
+from repro.experiments.artifact_cache import (
+    ArtifactCache,
+    cache_enabled,
+    flow_key,
+)
 from repro.utils.profiling import StageTimer
 
 
 def _default_jobs() -> int:
-    """Worker processes for fault simulation and the per-period schedule
-    solves (env ``REPRO_JOBS``)."""
+    """Worker-process count from the environment (``REPRO_JOBS``).
+
+    Read once into :class:`SuiteRunConfig` at construction time, so the
+    effective parallelism is part of the cache key instead of ambient
+    state.
+    """
     try:
         return max(1, int(os.environ.get("REPRO_JOBS", "1")))
     except ValueError:
@@ -39,6 +58,10 @@ class SuiteRunConfig:
     fast_ratio: float = 3.0
     monitor_fraction: float = 0.25
     atpg_seed: int = 7
+    #: Effective worker count (captured from ``REPRO_JOBS`` by default).
+    #: With multiple circuits the suite fans out one flow per worker;
+    #: with a single circuit the jobs go to the in-flow stage pools.
+    jobs: int = field(default_factory=_default_jobs)
 
     @classmethod
     def quick(cls, **overrides: object) -> "SuiteRunConfig":
@@ -59,33 +82,96 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+def _flow_config(cfg: SuiteRunConfig, pattern_cap: int | None,
+                 stage_jobs: int) -> FlowConfig:
+    return FlowConfig(
+        fast_ratio=cfg.fast_ratio,
+        monitor_fraction=cfg.monitor_fraction,
+        atpg_seed=cfg.atpg_seed,
+        pattern_cap=pattern_cap,
+        simulation_jobs=stage_jobs,
+        schedule_jobs=stage_jobs,
+    )
+
+
+def _execute_flow(name: str, cfg: SuiteRunConfig, pattern_cap: int | None,
+                  stage_jobs: int, progress: bool,
+                  timer: StageTimer | None) -> FlowResult:
+    circuit = suite_circuit(name, scale=cfg.scale)
+    note = (lambda m, _n=name: print(f"[{_n}] {m}")) if progress else None
+    return HdfTestFlow(circuit,
+                       _flow_config(cfg, pattern_cap, stage_jobs)).run(
+        with_schedules=cfg.with_schedules,
+        with_coverage_schedules=cfg.with_coverage_schedules,
+        progress=note, timer=timer)
+
+
+def _worker_run(args: tuple[str, SuiteRunConfig, int | None, bool]
+                ) -> tuple[str, FlowResult, StageTimer]:
+    """Pool entry point: run one circuit flow, stage pools disabled."""
+    name, cfg, pattern_cap, progress = args
+    timer = StageTimer()
+    result = _execute_flow(name, cfg, pattern_cap, stage_jobs=1,
+                           progress=progress, timer=timer)
+    return name, result, timer
+
+
+def _pool_context() -> mp.context.BaseContext:
+    # fork shares the (already imported) circuit/library state with zero
+    # pickling of inputs; fall back to the platform default elsewhere.
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
 def run_suite(config: SuiteRunConfig | None = None,
               *, progress: bool = False,
               timer: StageTimer | None = None) -> dict[str, FlowResult]:
     """Run (or fetch cached) flow results for every circuit of the config.
 
-    ``timer`` accumulates the fault-simulation stage split across all
-    circuits actually executed (cache hits contribute nothing).
+    ``timer`` accumulates the per-stage wall-clock split across all
+    circuits actually executed (cache hits contribute nothing; parallel
+    workers' splits are merged in).
     """
     cfg = config or SuiteRunConfig()
     entry = _CACHE.setdefault(cfg, _CacheEntry())
     suite = {e.name: e for e in paper_suite(list(cfg.names))}
+    disk = ArtifactCache() if cache_enabled() else None
+
+    caps = {name: suite[name].pattern_budget(scale=cfg.scale)
+            for name in cfg.names}
+    keys = {}
+    pending: list[str] = []
     for name in cfg.names:
         if name in entry.results:
             continue
-        suite_entry = suite[name]
-        circuit = suite_circuit(name, scale=cfg.scale)
-        flow_config = FlowConfig(
-            fast_ratio=cfg.fast_ratio,
-            monitor_fraction=cfg.monitor_fraction,
-            atpg_seed=cfg.atpg_seed,
-            pattern_cap=suite_entry.pattern_budget(scale=cfg.scale),
-            simulation_jobs=_default_jobs(),
-            schedule_jobs=_default_jobs(),
-        )
-        note = (lambda m, _n=name: print(f"[{_n}] {m}")) if progress else None
-        entry.results[name] = HdfTestFlow(circuit, flow_config).run(
-            with_schedules=cfg.with_schedules,
-            with_coverage_schedules=cfg.with_coverage_schedules,
-            progress=note, timer=timer)
+        if disk is not None:
+            keys[name] = flow_key(
+                name, cfg.scale, _flow_config(cfg, caps[name], 1),
+                with_schedules=cfg.with_schedules,
+                with_coverage_schedules=cfg.with_coverage_schedules)
+            cached = disk.load(keys[name])
+            if cached is not None:
+                entry.results[name] = cached
+                continue
+        pending.append(name)
+
+    if len(pending) > 1 and cfg.jobs > 1:
+        ctx = _pool_context()
+        args = [(name, cfg, caps[name], progress) for name in pending]
+        with ctx.Pool(processes=min(cfg.jobs, len(pending))) as pool:
+            for name, result, wtimer in pool.imap(_worker_run, args):
+                entry.results[name] = result
+                if timer is not None:
+                    timer.merge(wtimer)
+    else:
+        # Serial circuits: hand the job budget to the in-flow stage pools.
+        for name in pending:
+            entry.results[name] = _execute_flow(
+                name, cfg, caps[name], stage_jobs=cfg.jobs,
+                progress=progress, timer=timer)
+
+    if disk is not None:
+        for name in pending:
+            disk.store(keys[name], entry.results[name])
     return {name: entry.results[name] for name in cfg.names}

@@ -1,23 +1,64 @@
 """Bit-parallel two-valued logic simulation.
 
-Packs one test pattern per bit of an arbitrary-width Python integer, so a
-single topological sweep evaluates *all* patterns of a test set at once.
-Used by the ATPG for random-pattern fault grading, fault dropping and static
-compaction — the classic single-fault-propagation scheme: the fault-free
-words are computed once, then each fault forces its site and re-evaluates
-only its fanout cone.
+Packs one test pattern per bit, so a single topological sweep evaluates
+*all* patterns of a test set at once.  Used by the ATPG for random-pattern
+fault grading, fault dropping and static compaction — the classic
+single-fault-propagation scheme: the fault-free words are computed once,
+then each fault forces its site and re-evaluates only its fanout cone.
+
+Two engines share one :class:`BitParallelSimulator` instance:
+
+* the **reference** engine (the seed implementation, retained verbatim for
+  golden-equivalence testing and perf baselining) carries the packed
+  patterns as arbitrary-width Python integers and re-evaluates one gate at
+  a time (:meth:`simulate`, :meth:`stuck_at_detect_mask`);
+* the **word-matrix** engine holds a ``(gates × W)`` ``uint64`` matrix
+  (``W = ceil(patterns / 64)`` words, same little-endian word convention as
+  :mod:`repro.utils.bitset`) and evaluates the circuit in *levelized
+  per-kind batches* — one vectorized numpy reduction per (level, kind,
+  arity) group instead of one Python call per gate
+  (:meth:`pack_vectors_words`, :meth:`simulate_words`).  Single-fault
+  propagation grades faults in *cone-sharing batches*
+  (:meth:`stuck_at_detect_words`): a batch of faults is carried as extra
+  matrix columns, their memoized cone schedules
+  (:meth:`Circuit.cone_schedule`) are merged, and one sweep over the merged
+  schedule re-evaluates every column at once.  Evaluating a gate outside a
+  particular fault's cone is harmless — its fanin equal the fault-free
+  words, so the result does too — which is what makes the sharing sound.
+
+Both engines produce bit-identical detect masks (guarded by
+``tests/test_parallel_sim_matrix.py`` and the ATPG golden tests).
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.faults.models import StuckAtFault
 from repro.netlist.circuit import Circuit, GateKind
 
+#: Bits per packed word of the matrix engine.
+WORD_BITS = 64
+
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Gate kind → (numpy reduction ufunc or None for unary, invert output).
+_KIND_KERNELS = {
+    GateKind.AND: (np.bitwise_and, False),
+    GateKind.NAND: (np.bitwise_and, True),
+    GateKind.OR: (np.bitwise_or, False),
+    GateKind.NOR: (np.bitwise_or, True),
+    GateKind.XOR: (np.bitwise_xor, False),
+    GateKind.XNOR: (np.bitwise_xor, True),
+    GateKind.BUF: (None, False),
+    GateKind.NOT: (None, True),
+}
+
 
 def _eval_word(kind: str, words: Sequence[int], mask: int) -> int:
-    """Evaluate one gate over packed pattern words."""
+    """Evaluate one gate over packed pattern words (reference engine)."""
     if kind == GateKind.AND or kind == GateKind.NAND:
         w = mask
         for x in words:
@@ -40,6 +81,26 @@ def _eval_word(kind: str, words: Sequence[int], mask: int) -> int:
     raise ValueError(f"cannot evaluate gate kind {kind!r}")
 
 
+def num_words(width: int) -> int:
+    """uint64 words needed for ``width`` packed patterns (at least one)."""
+    return max(1, (width + WORD_BITS - 1) // WORD_BITS)
+
+
+def mask_row(width: int) -> np.ndarray:
+    """``(W,)`` uint64 row with the low ``width`` bits set."""
+    row = np.zeros(num_words(width), dtype=np.uint64)
+    full, rem = divmod(width, WORD_BITS)
+    row[:full] = _FULL_WORD
+    if rem:
+        row[full] = np.uint64((1 << rem) - 1)
+    return row
+
+
+def row_to_mask(row: np.ndarray) -> int:
+    """One packed ``(W,)`` row as an arbitrary-width Python int mask."""
+    return int.from_bytes(np.ascontiguousarray(row).tobytes(), "little")
+
+
 class BitParallelSimulator:
     """Packed-pattern logic simulation of a finalized circuit."""
 
@@ -51,9 +112,15 @@ class BitParallelSimulator:
                        if GateKind.is_combinational(circuit.gates[i].kind)]
         self._obs_gates = sorted({op.gate
                                   for op in circuit.observation_points()})
+        # Matrix-engine structures, built lazily on first use.
+        self._level_batches: list[tuple] | None = None
+        self._gate_kernels: list[tuple | None] | None = None
+        self._sources_np: np.ndarray | None = None
+        self._const1_np: np.ndarray | None = None
+        self._obs_np: np.ndarray | None = None
 
     # ------------------------------------------------------------------
-    # Fault-free simulation
+    # Fault-free simulation (reference engine: Python big-int words)
     # ------------------------------------------------------------------
     def simulate(self, source_words: Mapping[int, int], width: int) -> list[int]:
         """Fault-free packed values for every gate.
@@ -125,7 +192,7 @@ class BitParallelSimulator:
         return out, width
 
     # ------------------------------------------------------------------
-    # Stuck-at fault detection (single fault propagation over the cone)
+    # Stuck-at fault detection (reference engine: one cone walk per fault)
     # ------------------------------------------------------------------
     def stuck_at_detect_mask(self, good_words: Sequence[int],
                              fault: StuckAtFault, width: int) -> int:
@@ -164,3 +231,186 @@ class BitParallelSimulator:
         for og in self._obs_gates:
             detect |= word_of(og) ^ good_words[og]
         return detect & mask
+
+    # ------------------------------------------------------------------
+    # Word-matrix engine: levelized vectorized evaluation
+    # ------------------------------------------------------------------
+    def _build_matrix_plan(self) -> None:
+        """Group the topological order into (level, kind, arity) batches.
+
+        Every fanin of a gate at level L sits at a level < L, so gates of
+        one level are mutually independent and any batch order inside a
+        level is sound.  One numpy reduction then evaluates a whole batch.
+        """
+        circuit = self.circuit
+        groups: dict[tuple[int, str, int], list[int]] = {}
+        for idx in self._order:
+            g = circuit.gates[idx]
+            groups.setdefault((circuit.level(idx), g.kind, g.arity),
+                              []).append(idx)
+        batches = []
+        for (_lvl, kind, _arity), idxs in sorted(groups.items()):
+            op, invert = _KIND_KERNELS[kind]
+            out_idx = np.asarray(idxs, dtype=np.intp)
+            fanin = np.asarray([circuit.gates[i].fanin for i in idxs],
+                               dtype=np.intp)
+            batches.append((op, invert, out_idx, fanin))
+        kernels: list[tuple | None] = [None] * len(circuit.gates)
+        for idx in self._order:
+            g = circuit.gates[idx]
+            op, invert = _KIND_KERNELS[g.kind]
+            kernels[idx] = (op, invert, np.asarray(g.fanin, dtype=np.intp))
+        self._level_batches = batches
+        self._gate_kernels = kernels
+        self._sources_np = np.asarray(self.circuit.sources(), dtype=np.intp)
+        self._const1_np = np.asarray(
+            [g.index for g in circuit.gates if g.kind == GateKind.CONST1],
+            dtype=np.intp)
+        self._obs_np = np.asarray(self._obs_gates, dtype=np.intp)
+
+    def pack_vectors_words(self, vectors: Sequence[Sequence[int]]
+                           ) -> tuple[np.ndarray, int]:
+        """Pack per-pattern source vectors into a ``(gates, W)`` matrix.
+
+        Bit ``p`` of word ``p >> 6`` in row ``g`` is pattern ``p``'s value
+        at source ``g`` (little-endian, the :mod:`repro.utils.bitset`
+        convention).  Non-source rows are zero; CONST1 rows carry the full
+        pattern mask.  Returns ``(matrix, width)``.
+        """
+        if self._level_batches is None:
+            self._build_matrix_plan()
+        sources = self._sources_np
+        width = len(vectors)
+        w = num_words(width)
+        matrix = np.zeros((len(self.circuit.gates), w), dtype=np.uint64)
+        if width:
+            arr = np.asarray(vectors, dtype=np.uint8)
+            if arr.ndim != 2 or arr.shape[1] != len(sources):
+                raise ValueError(
+                    f"vectors must all have {len(sources)} values")
+            if arr.max(initial=0) > 1:
+                raise ValueError("pack_vectors needs fully-specified vectors")
+            packed = np.packbits(arr.T, axis=1, bitorder="little")
+            padded = np.zeros((len(sources), w * 8), dtype=np.uint8)
+            padded[:, :packed.shape[1]] = packed
+            matrix[sources] = padded.view(np.uint64)
+        if self._const1_np.size:
+            matrix[self._const1_np] = mask_row(width)
+        return matrix, width
+
+    def simulate_words(self, matrix: np.ndarray, width: int) -> np.ndarray:
+        """Fault-free simulation of a packed ``(gates, W)`` matrix.
+
+        ``matrix`` must carry the source rows (see
+        :meth:`pack_vectors_words`); the combinational rows are filled in
+        place, one vectorized kernel per (level, kind, arity) batch, and
+        the same array is returned.
+        """
+        if self._level_batches is None:
+            self._build_matrix_plan()
+        mrow = mask_row(width)
+        for op, invert, out_idx, fanin in self._level_batches:
+            if op is None:
+                vals = matrix[fanin[:, 0]]
+            else:
+                vals = op.reduce(matrix[fanin], axis=1)
+            if invert:
+                vals = vals ^ mrow
+            matrix[out_idx] = vals
+        return matrix
+
+    def _forced_site_row(self, good: np.ndarray, fault: StuckAtFault,
+                         mrow: np.ndarray) -> np.ndarray:
+        """Faulty ``(W,)`` word at the fault's site gate output."""
+        site = fault.site
+        forced = mrow if fault.value else np.zeros_like(mrow)
+        if site.is_output_pin:
+            return forced
+        g = self.circuit.gates[site.gate]
+        ins = [good[s] for s in g.fanin]
+        ins[site.pin] = forced
+        op, invert = _KIND_KERNELS[g.kind]
+        row = ins[0].copy() if op is None else op.reduce(np.stack(ins), axis=0)
+        return (row ^ mrow) if invert else row
+
+    def _grade_batch(self, good: np.ndarray,
+                     faults: Sequence[StuckAtFault], width: int,
+                     out: np.ndarray, out_rows: Sequence[int]) -> None:
+        """Single-fault propagation of one cone-sharing batch.
+
+        Every fault of the batch occupies one column of a ``(gates, B, W)``
+        faulty matrix initialized to the fault-free words; the merged cone
+        schedule is swept once, evaluating all columns per gate.  A column
+        whose fault's cone does not contain the gate re-evaluates to the
+        fault-free word, so over-evaluation cannot corrupt it; site gates
+        are re-forced after evaluation in case they sit inside another
+        batch member's cone.
+        """
+        circuit = self.circuit
+        mrow = mask_row(width)
+        site_rows = []
+        active: list[int] = []
+        for b, f in enumerate(faults):
+            row = self._forced_site_row(good, f, mrow)
+            if bool(np.any(row != good[f.site.gate])):
+                active.append(b)
+                site_rows.append(row)
+            # else: the forced value never changes the site signal — the
+            # detect row stays zero (pre-filled by the caller).
+        if not active:
+            return
+        b_n = len(active)
+        faulty = np.repeat(good[:, None, :], b_n, axis=1)
+        forced_at: dict[int, list[tuple[int, np.ndarray]]] = {}
+        cone_union: set[int] = set()
+        for col, b in enumerate(active):
+            site_gate = faults[b].site.gate
+            faulty[site_gate, col] = site_rows[col]
+            forced_at.setdefault(site_gate, []).append((col, site_rows[col]))
+            cone_union.update(circuit.cone_schedule(site_gate))
+        pos = circuit.topo_positions
+        kernels = self._gate_kernels
+        for idx in sorted(cone_union, key=pos.__getitem__):
+            op, invert, fanin = kernels[idx]
+            if op is None:
+                vals = faulty[fanin[0]].copy()
+            else:
+                vals = op.reduce(faulty[fanin], axis=0)
+            if invert:
+                vals ^= mrow
+            refor = forced_at.get(idx)
+            if refor is not None:
+                for col, row in refor:
+                    vals[col] = row
+            faulty[idx] = vals
+        obs = self._obs_np
+        if obs.size:
+            diff = faulty[obs] ^ good[obs][:, None, :]
+            det = np.bitwise_or.reduce(diff, axis=0)
+            for col, b in enumerate(active):
+                out[out_rows[b]] = det[col]
+
+    def stuck_at_detect_words(self, good: np.ndarray,
+                              faults: Sequence[StuckAtFault], width: int,
+                              *, batch: int = 64) -> np.ndarray:
+        """Per-fault ``(len(faults), W)`` detect words, batched grading.
+
+        ``good`` is the fault-free matrix from :meth:`simulate_words`.
+        Faults are sorted by the topological position of their site so each
+        batch shares (and each merged schedule stays close to) one fanout
+        region; rows of the result stay in input order and are bit-
+        identical to :meth:`stuck_at_detect_mask`.
+        """
+        if self._level_batches is None:
+            self._build_matrix_plan()
+        out = np.zeros((len(faults), good.shape[1]), dtype=np.uint64)
+        if not len(faults) or width == 0:
+            return out
+        pos = self.circuit.topo_positions
+        order = sorted(range(len(faults)),
+                       key=lambda i: (pos[faults[i].site.gate], i))
+        for lo in range(0, len(order), batch):
+            chunk = order[lo:lo + batch]
+            self._grade_batch(good, [faults[i] for i in chunk], width,
+                              out, chunk)
+        return out

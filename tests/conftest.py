@@ -6,12 +6,18 @@ scoped; tests must treat them as read-only.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.circuits.generators import CircuitProfile, generate_circuit
 from repro.circuits.library import embedded_circuit
 from repro.core import FlowConfig, HdfTestFlow
 from repro.netlist.bench import parse_bench
+
+# Keep the unit-test suite hermetic: never read or populate the shared
+# on-disk flow cache (cache-specific tests re-enable it against tmp dirs).
+os.environ.setdefault("REPRO_FLOW_CACHE", "0")
 
 TINY_BENCH = """
 INPUT(A)

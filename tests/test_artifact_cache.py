@@ -1,0 +1,100 @@
+"""Tests for the persistent on-disk flow-artifact cache."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.config import FlowConfig
+from repro.experiments.artifact_cache import (
+    ArtifactCache,
+    cache_enabled,
+    config_fingerprint,
+    default_cache_dir,
+    flow_key,
+)
+
+
+def _key(**overrides):
+    kwargs = dict(circuit_name="s27", scale=1.0, config=FlowConfig(),
+                  with_schedules=True, with_coverage_schedules=False)
+    kwargs.update(overrides)
+    name = kwargs.pop("circuit_name")
+    scale = kwargs.pop("scale")
+    config = kwargs.pop("config")
+    return flow_key(name, scale, config, **kwargs)
+
+
+class TestFlowKey:
+    def test_deterministic(self):
+        assert _key() == _key()
+
+    def test_job_counts_do_not_change_key(self):
+        assert _key(config=FlowConfig(simulation_jobs=8,
+                                      schedule_jobs=4)) == _key()
+
+    def test_semantic_fields_change_key(self):
+        assert _key(config=FlowConfig(atpg_seed=9)) != _key()
+        assert _key(config=FlowConfig(atpg_engine="reference")) != _key()
+        assert _key(scale=0.5) != _key()
+        assert _key(circuit_name="c17") != _key()
+        assert _key(with_schedules=False) != _key()
+        assert _key(with_coverage_schedules=True) != _key()
+
+    def test_fingerprint_excludes_job_knobs(self):
+        fp = config_fingerprint(FlowConfig(simulation_jobs=8))
+        assert "simulation_jobs" not in fp
+        assert "schedule_jobs" not in fp
+        assert fp["atpg_engine"] == "matrix"
+
+
+class TestEnvironment:
+    def test_cache_enabled_default_and_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLOW_CACHE", raising=False)
+        assert cache_enabled()
+        for off in ("0", "off", "no"):
+            monkeypatch.setenv("REPRO_FLOW_CACHE", off)
+            assert not cache_enabled()
+        monkeypatch.setenv("REPRO_FLOW_CACHE", "1")
+        assert cache_enabled()
+
+    def test_cache_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "x"))
+        assert default_cache_dir() == tmp_path / "x"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert default_cache_dir() == Path(
+            default_cache_dir()).resolve()  # repo-root default is absolute
+
+
+class TestArtifactCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = _key()
+        assert cache.load(key) is None
+        cache.store(key, {"rows": [1, 2, 3]})
+        assert cache.load(key) == {"rows": [1, 2, 3]}
+
+    def test_entries_are_sharded_by_prefix(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = _key()
+        cache.store(key, "payload")
+        assert (tmp_path / key[:2] / f"{key}.pkl").exists()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = _key()
+        cache.store(key, "payload")
+        (tmp_path / key[:2] / f"{key}.pkl").write_bytes(b"\x80garbage")
+        assert cache.load(key) is None
+
+    def test_store_is_best_effort(self, tmp_path):
+        target = tmp_path / "blocked"
+        target.write_text("a file, not a directory")
+        cache = ArtifactCache(target / "sub")  # mkdir will fail
+        cache.store(_key(), "payload")  # must not raise
+        assert cache.load(_key()) is None
+
+    def test_no_stray_tmp_files_after_store(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store(_key(), list(range(100)))
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []

@@ -28,6 +28,36 @@ class TestReverseOrderDrop:
     def test_empty_masks_ignored(self):
         assert reverse_order_drop(3, [0, 0]) == []
 
+    def test_empty_mask_list(self):
+        assert reverse_order_drop(5, []) == []
+
+    def test_zero_patterns(self):
+        assert reverse_order_drop(0, [0b1]) == []
+
+    def test_single_pattern(self):
+        assert reverse_order_drop(1, [1, 1, 1]) == [0]
+
+    def test_mask_bits_beyond_pattern_count_ignored(self):
+        # Stray bits above num_patterns must not keep a pattern alive.
+        assert reverse_order_drop(2, [0b100]) == []
+        assert reverse_order_drop(2, [0b101, 0b10]) == [0, 1]
+
+    def test_multiword_masks(self):
+        # >64 patterns exercises the multi-word uint64 transpose path.
+        n = 130
+        masks = [1 << i for i in range(n)]           # every pattern essential
+        assert reverse_order_drop(n, masks) == list(range(n))
+        # One fault detected everywhere: only the last pattern survives.
+        assert reverse_order_drop(n, [(1 << n) - 1]) == [n - 1]
+
+    @given(st.lists(st.integers(min_value=1, max_value=2**130 - 1),
+                    max_size=12))
+    def test_multiword_kept_subset_covers_everything(self, masks):
+        kept = reverse_order_drop(130, masks)
+        kept_bits = sum(1 << p for p in kept)
+        for m in masks:
+            assert m & kept_bits, "a fault lost its detecting pattern"
+
     @given(st.lists(st.integers(min_value=1, max_value=2**10 - 1), max_size=20))
     def test_kept_subset_covers_everything(self, masks):
         kept = reverse_order_drop(10, masks)
@@ -62,6 +92,17 @@ class TestMergeCompatible:
         b = PatternPair((1,) * width, (0,) * width)
         merged = merge_compatible(TestSet(s27, [a, b]))
         assert len(merged) == 2
+
+    def test_empty_test_set(self, s27):
+        assert list(merge_compatible(TestSet(s27, []))) == []
+
+    def test_single_pattern_untouched(self, s27):
+        width = len(s27.sources())
+        p = PatternPair((X,) * width, (0,) * width)
+        merged = merge_compatible(TestSet(s27, [p]))
+        assert len(merged) == 1
+        assert merged[0].launch == p.launch
+        assert merged[0].capture == p.capture
 
     def test_fully_specified_untouched(self, s27):
         from repro.atpg.patterns import random_test_set

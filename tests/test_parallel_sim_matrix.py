@@ -1,0 +1,93 @@
+"""Word-matrix kernels of BitParallelSimulator vs the seed big-int API.
+
+The matrix layer (``pack_vectors_words`` / ``simulate_words`` /
+``stuck_at_detect_words``) must reproduce the big-int path bit for bit —
+same little-endian word convention as :mod:`repro.utils.bitset`, same
+detect masks for every fault — across word boundaries and batch sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atpg.patterns import random_test_set
+from repro.atpg.transition import transition_fault_list
+from repro.simulation.parallel_sim import (
+    BitParallelSimulator,
+    mask_row,
+    num_words,
+    row_to_mask,
+)
+
+
+def _workload(circuit, count, seed=3):
+    ts = random_test_set(circuit, count, seed=seed)
+    vectors = [p.capture for p in ts]
+    sim = BitParallelSimulator(circuit)
+    saf = [f.as_stuck_at() for f in transition_fault_list(circuit)]
+    return sim, vectors, saf
+
+
+class TestWordHelpers:
+    def test_num_words(self):
+        assert [num_words(w) for w in (1, 64, 65, 128, 129)] == [1, 1, 2, 2, 3]
+
+    @pytest.mark.parametrize("width", [1, 63, 64, 65, 130])
+    def test_mask_row_roundtrip(self, width):
+        row = mask_row(width)
+        assert row.dtype == np.uint64
+        assert row_to_mask(row) == (1 << width) - 1
+
+
+class TestMatrixVsBigInt:
+    @pytest.mark.parametrize("count", [1, 7, 70])  # 70 → two words
+    def test_pack_and_simulate_match(self, s27, count):
+        sim, vectors, _ = _workload(s27, count)
+        words, width = sim.pack_vectors(vectors)
+        good = sim.simulate(words, width)
+        matrix, mwidth = sim.pack_vectors_words(vectors)
+        assert mwidth == width
+        good_m = sim.simulate_words(matrix, width)
+        for g in range(len(good)):
+            assert row_to_mask(good_m[g]) == good[g], g
+
+    @pytest.mark.parametrize("count", [3, 70])
+    def test_stuck_at_detection_matches(self, s27, count):
+        sim, vectors, saf = _workload(s27, count)
+        words, width = sim.pack_vectors(vectors)
+        good = sim.simulate(words, width)
+        matrix, _ = sim.pack_vectors_words(vectors)
+        good_m = sim.simulate_words(matrix, width)
+        det = sim.stuck_at_detect_words(good_m, saf, width)
+        for i, f in enumerate(saf):
+            assert row_to_mask(det[i]) == \
+                sim.stuck_at_detect_mask(good, f, width), f
+
+    def test_batch_size_does_not_change_results(self, small_generated):
+        sim, vectors, saf = _workload(small_generated, 11, seed=9)
+        matrix, width = sim.pack_vectors_words(vectors)
+        good_m = sim.simulate_words(matrix, width)
+        full = sim.stuck_at_detect_words(good_m, saf, width)
+        tiny = sim.stuck_at_detect_words(good_m, saf, width, batch=2)
+        assert np.array_equal(full, tiny)
+
+    def test_empty_fault_list(self, s27):
+        sim, vectors, _ = _workload(s27, 4)
+        matrix, width = sim.pack_vectors_words(vectors)
+        good_m = sim.simulate_words(matrix, width)
+        det = sim.stuck_at_detect_words(good_m, [], width)
+        assert det.shape == (0, num_words(width))
+
+    def test_generated_circuit_matches(self, small_generated):
+        sim, vectors, saf = _workload(small_generated, 13, seed=4)
+        words, width = sim.pack_vectors(vectors)
+        good = sim.simulate(words, width)
+        matrix, _ = sim.pack_vectors_words(vectors)
+        good_m = sim.simulate_words(matrix, width)
+        det = sim.stuck_at_detect_words(good_m, saf, width)
+        mismatches = [
+            f for i, f in enumerate(saf)
+            if row_to_mask(det[i]) != sim.stuck_at_detect_mask(good, f, width)
+        ]
+        assert not mismatches

@@ -1,10 +1,22 @@
-"""Tests for the suite runner and its cache."""
+"""Tests for the suite runner and its caches."""
 
 from __future__ import annotations
+
+from dataclasses import replace
 
 import pytest
 
 from repro.experiments.runner import SuiteRunConfig, clear_cache, run_suite
+
+
+def _signature(res):
+    """Comparable digest of one FlowResult (engine/jobs must not change it)."""
+    return (
+        [(p.launch, p.capture) for p in res.test_set],
+        res.universe_size,
+        res.data.faults_with_ranges(),
+        sorted(res.schedules),
+    )
 
 
 class TestConfig:
@@ -25,6 +37,24 @@ class TestConfig:
 
     def test_hashable_for_cache_key(self):
         assert hash(SuiteRunConfig.quick()) == hash(SuiteRunConfig.quick())
+
+    def test_jobs_default_follows_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert SuiteRunConfig.quick().jobs == 1
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert SuiteRunConfig.quick().jobs == 3
+        monkeypatch.setenv("REPRO_JOBS", "junk")
+        assert SuiteRunConfig.quick().jobs == 1
+
+    def test_job_count_is_part_of_the_cache_key(self, monkeypatch):
+        # Regression: configs built under different REPRO_JOBS settings
+        # used to alias the same in-memory cache entry.
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        serial = SuiteRunConfig.quick()
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        parallel = SuiteRunConfig.quick()
+        assert serial != parallel
+        assert parallel.jobs == 4
 
 
 class TestRun:
@@ -60,3 +90,66 @@ class TestRun:
                              with_schedules=False)
         out = run_suite(cfg)
         assert list(out) == ["s13207", "s9234"]
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self):
+        clear_cache()
+        serial_cfg = SuiteRunConfig(names=("s9234", "s13207"), scale=0.25,
+                                    with_schedules=True, jobs=1)
+        serial = run_suite(serial_cfg)
+        parallel = run_suite(replace(serial_cfg, jobs=2))
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert _signature(serial[name]) == _signature(parallel[name]), name
+
+    def test_parallel_merges_worker_timers(self):
+        from repro.utils.profiling import StageTimer
+        clear_cache()
+        timer = StageTimer()
+        run_suite(SuiteRunConfig(names=("s9234", "s13207"), scale=0.25,
+                                 with_schedules=False, jobs=2), timer=timer)
+        # Every worker ships its stage split back to the caller.
+        assert timer.total() > 0
+        assert "random" in timer.totals  # the ATPG stage of both workers
+
+
+class TestDiskCache:
+    @pytest.fixture()
+    def disk_cfg(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FLOW_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        clear_cache()
+        yield SuiteRunConfig(names=("s9234",), scale=0.25,
+                             with_schedules=False)
+        clear_cache()
+
+    def test_second_invocation_skips_all_flow_executions(self, disk_cfg,
+                                                         monkeypatch,
+                                                         tmp_path):
+        first = run_suite(disk_cfg)
+        assert any(tmp_path.rglob("*.pkl"))  # artifact persisted
+
+        clear_cache()  # wipe in-memory layer; only the disk copy remains
+
+        class Boom:
+            def __init__(self, *a, **k):
+                raise AssertionError("flow must not execute on a cache hit")
+
+        monkeypatch.setattr("repro.experiments.runner.HdfTestFlow", Boom)
+        second = run_suite(disk_cfg)
+        assert _signature(first["s9234"]) == _signature(second["s9234"])
+
+    def test_disabled_cache_writes_nothing(self, disk_cfg, monkeypatch,
+                                           tmp_path):
+        monkeypatch.setenv("REPRO_FLOW_CACHE", "0")
+        run_suite(disk_cfg)
+        assert not any(tmp_path.rglob("*.pkl"))
+
+    def test_job_count_shares_one_disk_entry(self, disk_cfg, monkeypatch,
+                                             tmp_path):
+        run_suite(disk_cfg)
+        entries = list(tmp_path.rglob("*.pkl"))
+        clear_cache()
+        run_suite(replace(disk_cfg, jobs=2))  # same key: no new artifact
+        assert sorted(tmp_path.rglob("*.pkl")) == sorted(entries)

@@ -17,7 +17,7 @@ import time
 from conftest import _PROFILE, BENCH_DETECTION_FILE, write_artifact
 
 from repro.core.config import FlowConfig
-from repro.faults.detection import compute_detection_data
+from repro.core.engines import ENGINES
 from repro.netlist.circuit import GateKind
 from repro.utils.profiling import StageTimer
 
@@ -49,10 +49,10 @@ def _detection_workload(res):
 
 
 def _run_engine(res, engine, timer=None):
+    fn = ENGINES.resolve("simulation", engine).fn
     t0 = time.perf_counter()
-    data = compute_detection_data(
-        res.circuit, res.data.faults, res.test_set,
-        engine=engine, timer=timer, **_detection_workload(res))
+    data = fn(res.circuit, res.data.faults, res.test_set,
+              timer=timer, **_detection_workload(res))
     return data, time.perf_counter() - t0
 
 

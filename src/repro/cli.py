@@ -64,6 +64,33 @@ def _flow_config(args: argparse.Namespace) -> FlowConfig:
     )
 
 
+def _recompute_from(args: argparse.Namespace) -> tuple[str, ...]:
+    """Validated ``--recompute-from`` stage names (downstream is implied)."""
+    from repro.core import DEFAULT_PIPELINE
+
+    names = tuple(getattr(args, "recompute_from", None) or ())
+    if names:
+        try:
+            DEFAULT_PIPELINE.descendants(names)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+    return names
+
+
+def _stage_cache(args: argparse.Namespace):
+    from repro.experiments.artifact_cache import StageCache, cache_enabled
+
+    if getattr(args, "no_cache", False) or not cache_enabled():
+        return None
+    return StageCache()
+
+
+def _print_stage_meta(meta: dict) -> None:
+    for name, info in meta.get("stages", {}).items():
+        print(f"  [stage] {name:<10s} {info['seconds']:8.3f} s  "
+              f"{info['cache']}", file=sys.stderr)
+
+
 def cmd_flow(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import format_table
 
@@ -71,7 +98,11 @@ def cmd_flow(args: argparse.Namespace) -> int:
     result = HdfTestFlow(circuit, _flow_config(args)).run(
         with_schedules=True,
         progress=(lambda m: print(f"  [flow] {m}", file=sys.stderr))
-        if args.verbose else None)
+        if args.verbose else None,
+        cache=_stage_cache(args),
+        recompute_from=_recompute_from(args))
+    if args.verbose:
+        _print_stage_meta(result.meta)
     print(format_table([result.table1_row()], title="HDF coverage"))
     print(format_table([result.table2_row()], title="Schedule optimization"))
     prop = result.schedules["prop"]
@@ -94,7 +125,7 @@ def cmd_flow(args: argparse.Namespace) -> int:
 
 def cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments.reporting import format_table
-    from repro.experiments.runner import SuiteRunConfig
+    from repro.experiments.runner import SuiteRunConfig, run_suite
     from repro.experiments.table1 import table1_rows
     from repro.experiments.table2 import table2_rows
     from repro.experiments.table3 import table3_rows
@@ -107,6 +138,11 @@ def cmd_tables(args: argparse.Namespace) -> int:
         from dataclasses import replace
 
         cfg = replace(cfg, jobs=max(1, args.jobs))
+    recompute = _recompute_from(args)
+    if recompute:
+        # Pre-warm the in-process cache with the forced re-run; the table
+        # drivers below then reuse these results.
+        run_suite(cfg, recompute_from=recompute)
     print(format_table(table1_rows(cfg), title="Table I"))
     print(format_table(table2_rows(cfg), title="Table II"))
     if args.table3:
@@ -120,7 +156,7 @@ def cmd_fig3(args: argparse.Namespace) -> int:
 
     circuit = _load_circuit(args.circuit)
     result = HdfTestFlow(circuit, _flow_config(args)).run(
-        with_schedules=False)
+        with_schedules=False, cache=_stage_cache(args))
     rows = [
         {"fmax/fnom": p.fmax_ratio,
          "conv_%": round(100 * p.conv_coverage, 1),
@@ -244,9 +280,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "atpg": (root / "BENCH_atpg.json", _bench_atpg_current),
     }
     if args.stage != "all":
+        if args.stage not in stages:
+            known = ", ".join(stages)
+            print(f"error: unknown bench stage {args.stage!r} "
+                  f"(registered stages: {known})", file=sys.stderr)
+            return 2
         stages = {args.stage: stages[args.stage]}
 
     rows = []
+    cache_rows: dict[str, dict] = {}
+    seen_results: set[int] = set()
+
+    def _tally(results) -> None:
+        # Per-pipeline-stage wall clock and cache hit/miss counters,
+        # aggregated across the suite replays backing the measurements.
+        for res in results.values():
+            if id(res) in seen_results:
+                continue
+            seen_results.add(id(res))
+            meta = getattr(res, "meta", None) or {}
+            for sname, info in meta.get("stages", {}).items():
+                row = cache_rows.setdefault(sname, {
+                    "stage": sname, "hits": 0, "misses": 0, "seconds": 0.0})
+                row["seconds"] += info.get("seconds", 0.0)
+                if info.get("cache") == "hit":
+                    row["hits"] += 1
+                elif info.get("cache") == "miss":
+                    row["misses"] += 1
     for stage, (path, measure) in stages.items():
         if not path.exists():
             print(f"warning: no committed {path.name}; "
@@ -260,6 +320,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         names = tuple(baseline["circuits"])
         results = run_suite(SuiteRunConfig.quick(names=names,
                                                  with_schedules=False))
+        _tally(results)
         committed_total = current_total = 0.0
         for name in names:
             committed = baseline["circuits"][name]["total_s"]
@@ -284,6 +345,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not rows:
         return 1
     print(format_table(rows, title="Perf baselines: current vs committed"))
+    if cache_rows:
+        stage_rows = [{"stage": r["stage"], "hits": r["hits"],
+                       "misses": r["misses"],
+                       "seconds": f"{r['seconds']:.3f}"}
+                      for r in cache_rows.values()]
+        print(format_table(stage_rows,
+                           title="Stage cache (suite replay)"))
     return 0
 
 
@@ -302,8 +370,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--pattern-cap", type=int, default=None)
         p.add_argument("--seed", type=int, default=7)
 
+    def add_cache_args(p):
+        p.add_argument("--recompute-from", nargs="+", metavar="STAGE",
+                       default=None,
+                       help="force these pipeline stages (and everything "
+                            "downstream) to recompute even when cached")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk stage cache for this run")
+
     p_flow = sub.add_parser("flow", help="run the full HDF test flow")
     add_flow_args(p_flow)
+    add_cache_args(p_flow)
     p_flow.add_argument("--show-schedule", action="store_true")
     p_flow.add_argument("--export", metavar="FILE.json", default=None,
                         help="write the schedule as JSON plus a .fast "
@@ -320,6 +397,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--jobs", type=int, default=None,
                           help="worker processes across suite circuits "
                                "(default: REPRO_JOBS or 1)")
+    p_tables.add_argument("--recompute-from", nargs="+", metavar="STAGE",
+                          default=None,
+                          help="force these pipeline stages (and everything "
+                               "downstream) to recompute even when cached")
     p_tables.set_defaults(func=cmd_tables)
 
     p_fig3 = sub.add_parser("fig3", help="coverage vs f_max sweep")
@@ -349,9 +430,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench", help="re-measure perf baselines and print deltas")
-    p_bench.add_argument("--stage",
-                         choices=("all", "detection", "schedule", "atpg"),
-                         default="all")
+    p_bench.add_argument("--stage", default="all",
+                         help="bench workload to re-measure: all, detection, "
+                              "schedule or atpg (unknown names are rejected "
+                              "with the registered list)")
     p_bench.add_argument("--root", type=Path, default=None,
                          help="directory holding the BENCH_*.json baselines "
                               "(default: the repo root)")

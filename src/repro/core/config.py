@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import InitVar, dataclass, field
 
+from repro.core.engines import ENGINES
 from repro.monitors.insertion import DEFAULT_COVERAGE_FRACTION
 from repro.monitors.monitor import PAPER_DELAY_FRACTIONS
 from repro.scheduling.setcover import DEFAULT_TIME_LIMIT_S
@@ -20,6 +22,13 @@ class FlowConfig:
     f_nom``, monitors on 25 % of the pseudo-primary outputs with delay
     elements {0.05, 0.1, 0.15, 1/3}·clk, fault size δ = 6σ with σ = 20 % of
     the nominal gate delay.
+
+    Engine selection is per pipeline stage through ``engines`` — a tuple of
+    ``(stage, engine)`` pairs validated against
+    :data:`repro.core.engines.ENGINES` and normalized in
+    ``__post_init__`` to one entry per engine-bearing stage.  The legacy
+    ``atpg_engine`` / ``simulation_engine`` keywords are deprecated shims
+    that map onto the same registry (and remain readable as attributes).
     """
 
     #: Maximum FAST frequency as a multiple of f_nom.
@@ -46,16 +55,20 @@ class FlowConfig:
     #: Worker processes for the per-period step-2 cover solves
     #: (1 = in-process; results are identical either way).
     schedule_jobs: int = 1
-    #: Fault-simulation engine: "incremental" (default) or "reference"
-    #: (seed full-cone resweep; bit-identical, kept for cross-checking).
-    simulation_engine: str = "incremental"
-    #: ATPG fault-grading engine: "matrix" (vectorized word-matrix kernels)
-    #: or "reference" (seed big-int pipeline; identical test sets).
-    atpg_engine: str = "matrix"
+    #: Per-stage engine selection, e.g. ``(("atpg", "reference"),)``.
+    #: Unlisted stages use their registry default; normalized to one sorted
+    #: ``(stage, engine)`` pair per engine-bearing stage.
+    engines: tuple[tuple[str, str], ...] = ()
     #: Coverage targets for Table III style relaxed schedules.
     coverage_targets: tuple[float, ...] = field(default=(0.99, 0.98, 0.95, 0.90))
 
-    def __post_init__(self) -> None:
+    #: Deprecated: use ``engines=(("atpg", <name>),)``.
+    atpg_engine: InitVar[str | None] = None
+    #: Deprecated: use ``engines=(("simulation", <name>),)``.
+    simulation_engine: InitVar[str | None] = None
+
+    def __post_init__(self, atpg_engine: str | None,
+                      simulation_engine: str | None) -> None:
         if self.fast_ratio < 1.0:
             raise ValueError("fast_ratio must be >= 1")
         if not 0.0 <= self.monitor_fraction <= 1.0:
@@ -66,10 +79,36 @@ class FlowConfig:
             raise ValueError("simulation_jobs must be >= 1")
         if self.schedule_jobs < 1:
             raise ValueError("schedule_jobs must be >= 1")
-        if self.simulation_engine not in ("incremental", "reference"):
-            raise ValueError(
-                f"unknown simulation_engine {self.simulation_engine!r}")
-        if self.atpg_engine not in ("matrix", "reference"):
-            raise ValueError(f"unknown atpg_engine {self.atpg_engine!r}")
         if any(not 0.0 < c <= 1.0 for c in self.coverage_targets):
             raise ValueError("coverage targets must lie in (0, 1]")
+
+        selected = {}
+        for stage, name in self.engines:
+            if stage in selected and selected[stage] != name:
+                raise ValueError(f"conflicting engines for stage {stage!r}")
+            selected[stage] = name
+        for stage, legacy, attr in (("atpg", atpg_engine, "atpg_engine"),
+                                    ("simulation", simulation_engine,
+                                     "simulation_engine")):
+            if legacy is None:
+                continue
+            warnings.warn(
+                f"FlowConfig.{attr} is deprecated; use "
+                f"engines=(({stage!r}, {legacy!r}),) instead",
+                DeprecationWarning, stacklevel=3)
+            selected.setdefault(stage, legacy)
+        resolved = {stage: ENGINES.resolve(stage, name).name
+                    for stage, name in selected.items()}
+        for stage in ENGINES.stages():
+            resolved.setdefault(stage, ENGINES.default(stage))
+        self.engines = tuple(sorted(resolved.items()))
+        # Back-compat read accessors for the deprecated fields.
+        self.atpg_engine = resolved["atpg"]
+        self.simulation_engine = resolved["simulation"]
+
+    def engine_for(self, stage: str) -> str:
+        """Selected engine name for ``stage`` (registry default if unset)."""
+        for name, engine in self.engines:
+            if name == stage:
+                return engine
+        return ENGINES.default(stage)

@@ -1,0 +1,133 @@
+"""Engine registry: one place for every ``engine="..."`` switch.
+
+PRs 1/3/4 each grew their own engine toggle — ``FlowConfig.atpg_engine``
+for the word-matrix vs seed big-int ATPG grading, ``simulation_engine``
+for the event-driven vs full-cone-resweep fault simulation, and the
+retained seed scheduling pipeline in :mod:`repro.scheduling.reference`.
+This module unifies them: an :class:`EngineRegistry` maps ``(stage,
+engine-name)`` to an adapter callable, each stage declares exactly one
+default, and :class:`repro.core.config.FlowConfig` selects engines
+per stage through its ``engines`` field (the legacy ``atpg_engine`` /
+``simulation_engine`` fields survive as deprecation shims).
+
+The registry is also the single source of truth for *validation*: unknown
+stage or engine names raise immediately with the registered alternatives
+listed, both from ``FlowConfig`` and from the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Engine:
+    """One registered engine implementation for a pipeline stage."""
+
+    stage: str
+    name: str
+    #: Adapter invoked by the owning stage; signature is stage-specific.
+    fn: Callable[..., Any]
+    #: One-line description shown in CLI/docs listings.
+    doc: str = ""
+
+
+@dataclass
+class EngineRegistry:
+    """Registered engines per stage, with one default engine per stage."""
+
+    _engines: dict[str, dict[str, Engine]] = field(default_factory=dict)
+    _defaults: dict[str, str] = field(default_factory=dict)
+
+    def register(self, stage: str, name: str, fn: Callable[..., Any],
+                 *, default: bool = False, doc: str = "") -> Engine:
+        """Register ``fn`` as engine ``name`` of ``stage``."""
+        per_stage = self._engines.setdefault(stage, {})
+        if name in per_stage:
+            raise ValueError(f"engine {name!r} already registered "
+                             f"for stage {stage!r}")
+        engine = Engine(stage=stage, name=name, fn=fn, doc=doc)
+        per_stage[name] = engine
+        if default or stage not in self._defaults:
+            self._defaults[stage] = name
+        return engine
+
+    def stages(self) -> tuple[str, ...]:
+        """Stages with at least one registered engine."""
+        return tuple(sorted(self._engines))
+
+    def names(self, stage: str) -> tuple[str, ...]:
+        """Engine names registered for ``stage`` (error when none)."""
+        self._require_stage(stage)
+        return tuple(sorted(self._engines[stage]))
+
+    def default(self, stage: str) -> str:
+        self._require_stage(stage)
+        return self._defaults[stage]
+
+    def resolve(self, stage: str, name: str | None = None) -> Engine:
+        """Look up ``name`` (or the stage default) with a helpful error."""
+        self._require_stage(stage)
+        per_stage = self._engines[stage]
+        if name is None:
+            name = self._defaults[stage]
+        if name not in per_stage:
+            known = ", ".join(sorted(per_stage))
+            raise ValueError(f"unknown engine {name!r} for stage "
+                             f"{stage!r} (registered: {known})")
+        return per_stage[name]
+
+    def _require_stage(self, stage: str) -> None:
+        if stage not in self._engines:
+            known = ", ".join(sorted(self._engines)) or "<none>"
+            raise ValueError(f"stage {stage!r} has no registered engines "
+                             f"(stages with engines: {known})")
+
+
+def _atpg_adapter(engine_name: str) -> Callable[..., Any]:
+    def run(circuit, *, seed, timer=None):
+        from repro.atpg.transition import generate_transition_tests
+
+        return generate_transition_tests(circuit, seed=seed,
+                                         engine=engine_name, timer=timer)
+    return run
+
+
+def _simulation_adapter(engine_name: str) -> Callable[..., Any]:
+    def run(circuit, faults, patterns, **kwargs):
+        from repro.faults.detection import compute_detection_data
+
+        return compute_detection_data(circuit, faults, patterns,
+                                      engine=engine_name, **kwargs)
+    return run
+
+
+def _schedule_adapter():
+    def run(data, targets, clock, configs, **kwargs):
+        from repro.scheduling.schedule import optimize_schedule
+
+        return optimize_schedule(data, targets, clock, configs, **kwargs)
+    return run
+
+
+def _build_default_registry() -> EngineRegistry:
+    reg = EngineRegistry()
+    reg.register("atpg", "matrix", _atpg_adapter("matrix"), default=True,
+                 doc="vectorized word-matrix fault grading (PR 4)")
+    reg.register("atpg", "reference", _atpg_adapter("reference"),
+                 doc="seed big-int grading pipeline, kept for cross-checks")
+    reg.register("simulation", "incremental",
+                 _simulation_adapter("incremental"), default=True,
+                 doc="event-driven incremental fault simulation (PR 1)")
+    reg.register("simulation", "reference",
+                 _simulation_adapter("reference"),
+                 doc="seed full-cone resweep, bit-identical cross-check")
+    reg.register("schedule", "bitset", _schedule_adapter(), default=True,
+                 doc="packed-bitset two-step covering pipeline (PR 3)")
+    return reg
+
+
+#: Process-wide default registry used by :class:`FlowConfig` validation and
+#: the pipeline stages.  Tests may build private registries instead.
+ENGINES = _build_default_registry()

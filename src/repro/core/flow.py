@@ -15,16 +15,25 @@ Steps, mirroring the paper:
 6. **Test schedule optimization** — two-step ILP selection of frequencies
    and (pattern, configuration) combinations, plus the conventional and
    heuristic baselines and relaxed-coverage variants (Table III).
+
+Execution is staged: :meth:`HdfTestFlow.run` drives the typed pipeline of
+:mod:`repro.core.pipeline` / :mod:`repro.core.stages`, which enables
+per-stage artifact caching and resumable runs (pass ``cache=``).  The
+pre-pipeline monolithic implementation is retained verbatim as
+:meth:`HdfTestFlow.run_monolith` — it is the golden reference the parity
+tests pin the staged execution against; do not optimize it.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.atpg.patterns import TestSet
 from repro.atpg.transition import generate_transition_tests
 from repro.core.config import FlowConfig
+from repro.core.pipeline import DEFAULT_PIPELINE, Pipeline, StageStore
 from repro.core.results import FlowResult
+from repro.core.stages import StageContext
 from repro.faults.classify import classify_faults, structural_prefilter
 from repro.faults.detection import compute_detection_data
 from repro.faults.universe import small_delay_fault_universe
@@ -45,24 +54,113 @@ class HdfTestFlow:
     """Runs the flow of Fig. 4 on one finalized circuit."""
 
     def __init__(self, circuit: Circuit,
-                 config: FlowConfig | None = None) -> None:
+                 config: FlowConfig | None = None, *,
+                 pipeline: Pipeline | None = None) -> None:
         if not circuit.is_finalized:
             raise ValueError("circuit must be finalized")
         self.circuit = circuit
         self.config = config or FlowConfig()
+        self.pipeline = pipeline or DEFAULT_PIPELINE
+
+    def _context(self, *, test_set: TestSet | None,
+                 with_schedules: bool, with_coverage_schedules: bool,
+                 progress: Callable[[str], None] | None,
+                 timer: StageTimer | None) -> StageContext:
+        return StageContext(
+            circuit=self.circuit,
+            config=self.config,
+            test_set=test_set,
+            with_schedules=with_schedules,
+            with_coverage_schedules=with_coverage_schedules,
+            timer=timer,
+            note=progress or (lambda _msg: None))
 
     def run(self, *,
             test_set: TestSet | None = None,
             with_schedules: bool = True,
             with_coverage_schedules: bool = False,
             progress: Callable[[str], None] | None = None,
-            timer: StageTimer | None = None) -> FlowResult:
-        """Execute the flow and return a :class:`FlowResult`.
+            timer: StageTimer | None = None,
+            cache: StageStore | None = None,
+            recompute_from: Iterable[str] = ()) -> FlowResult:
+        """Execute the staged flow and return a :class:`FlowResult`.
 
         ``test_set`` bypasses the built-in ATPG (e.g. to replay an external
         pattern set); ``with_coverage_schedules`` additionally optimizes the
         relaxed-coverage schedules of Table III.  ``timer`` collects the
-        per-stage wall-clock split of the fault simulation.
+        fine-grained wall-clock split of the engine internals.  ``cache``
+        (see :class:`repro.experiments.artifact_cache.StageCache`) enables
+        per-stage artifact reuse; ``recompute_from`` forces the named
+        stages — plus everything downstream — to recompute even on a hit.
+        """
+        ctx = self._context(test_set=test_set,
+                            with_schedules=with_schedules,
+                            with_coverage_schedules=with_coverage_schedules,
+                            progress=progress, timer=timer)
+        artifacts, meta = self.pipeline.run(ctx, cache=cache,
+                                            recompute_from=recompute_from)
+        return self._assemble(artifacts, meta)
+
+    def cached_result(self, *,
+                      test_set: TestSet | None = None,
+                      with_schedules: bool = True,
+                      with_coverage_schedules: bool = False,
+                      cache: StageStore | None = None) -> FlowResult | None:
+        """Whole-flow cache probe: the result iff every stage artifact is
+        already in ``cache`` (the legacy whole-``FlowResult`` cache as a
+        thin wrapper over the per-stage store)."""
+        ctx = self._context(test_set=test_set,
+                            with_schedules=with_schedules,
+                            with_coverage_schedules=with_coverage_schedules,
+                            progress=None, timer=None)
+        artifacts = self.pipeline.cached_artifacts(ctx, cache)
+        if artifacts is None:
+            return None
+        n = len(artifacts)
+        meta = {
+            "stages": {name: {"seconds": 0.0, "cache": "hit"}
+                       for name in artifacts},
+            "cache": {"hits": n, "misses": 0},
+        }
+        return self._assemble(artifacts, meta)
+
+    def _assemble(self, artifacts: dict, meta: dict) -> FlowResult:
+        timing = artifacts["sta"]
+        faults = artifacts["faults"]
+        patterns = artifacts["atpg"]
+        detection = artifacts["simulation"]
+        classification = artifacts["classify"]
+        schedule = artifacts["schedule"]
+        return FlowResult(
+            circuit=self.circuit,
+            sta=timing.sta,
+            clock=timing.clock,
+            configs=timing.configs,
+            placement=timing.placement,
+            universe_size=faults.universe_size,
+            prefilter=faults.prefilter,
+            atpg=patterns.atpg,
+            test_set=patterns.test_set,
+            data=detection.data,
+            classification=classification.classification,
+            schedules=dict(schedule.schedules),
+            coverage_schedules=dict(schedule.coverage_schedules),
+            meta=meta,
+        )
+
+    # ------------------------------------------------------------------
+    # Golden reference (pre-pipeline monolith) — do not optimize
+    # ------------------------------------------------------------------
+    def run_monolith(self, *,
+                     test_set: TestSet | None = None,
+                     with_schedules: bool = True,
+                     with_coverage_schedules: bool = False,
+                     progress: Callable[[str], None] | None = None,
+                     timer: StageTimer | None = None) -> FlowResult:
+        """The pre-pipeline monolithic flow, retained verbatim.
+
+        The parity tests (``tests/test_pipeline_golden.py``) pin that the
+        staged :meth:`run` produces bit-identical results to this body.
         """
         cfg = self.config
         note = progress or (lambda _msg: None)

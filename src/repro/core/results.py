@@ -33,6 +33,11 @@ class FlowResult:
     classification: FaultClassification
     schedules: dict[str, ScheduleResult] = field(default_factory=dict)
     coverage_schedules: dict[float, ScheduleResult] = field(default_factory=dict)
+    #: Pipeline observability: per-stage wall clock and cache hit/miss
+    #: status of the run that produced this result (``{"stages": {name:
+    #: {"seconds": s, "cache": "hit"|"miss"|"computed"}}, "cache":
+    #: {"hits": n, "misses": n}}``; empty for monolith runs).
+    meta: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived fault counts (Table I semantics)

@@ -1,17 +1,24 @@
-"""Persistent on-disk cache for completed flow results.
+"""Persistent on-disk store for per-stage pipeline artifacts.
 
 Repeated table/figure/benchmark drivers replay the same (circuit, scale,
 config) flows; the in-process cache of :mod:`repro.experiments.runner` only
-helps within one interpreter.  This module persists each
-:class:`repro.core.results.FlowResult` to disk, keyed by a sha256 of
+helps within one interpreter.  This module persists pipeline artifacts to
+disk at **stage** granularity: the :class:`~repro.core.pipeline.Pipeline`
+keys every stage by a Merkle-style content hash of
 
-* the circuit name and scale,
-* the full :class:`FlowConfig` fingerprint *minus* the worker-count knobs
-  (``simulation_jobs`` / ``schedule_jobs`` — results are bit-identical for
-  any job count, so caching under one key prevents re-runs under another),
-* the requested schedule flags, and
-* :data:`CACHE_VERSION` — the "code version" salt; bump it whenever a flow
-  stage changes semantically so stale artifacts can never be replayed.
+* the circuit content hash,
+* the stage's semantic config fields (including its engine selection) —
+  worker-count knobs (``simulation_jobs`` / ``schedule_jobs``) are
+  deliberately excluded, results are bit-identical for any job count,
+* the keys of its upstream stages, and
+* the stage's own ``CACHE_VERSION``,
+
+so editing, say, a scheduling knob reuses the cached STA/faults/ATPG/
+detection artifacts and only re-optimizes schedules, and a killed run
+resumes from its last completed stage.  The legacy whole-``FlowResult``
+cache survives as a thin wrapper: a flow is fully cached exactly when all
+of its stage artifacts are present
+(:meth:`repro.core.flow.HdfTestFlow.cached_result`).
 
 Environment knobs:
 
@@ -38,10 +45,11 @@ from typing import Any
 
 from repro.core.config import FlowConfig
 
-#: Bump on any semantic change to flow stages — invalidates all entries.
-CACHE_VERSION = 1
+#: Global salt over every stage entry — bump on cross-cutting semantic
+#: changes (per-stage changes should bump the stage's own CACHE_VERSION).
+CACHE_VERSION = 2
 
-#: FlowConfig fields excluded from the key: they cannot change the result.
+#: FlowConfig fields excluded from flow keys: they cannot change the result.
 _NON_SEMANTIC_FIELDS = frozenset({"simulation_jobs", "schedule_jobs"})
 
 
@@ -67,14 +75,19 @@ def config_fingerprint(config: FlowConfig) -> dict[str, Any]:
             continue
         value = getattr(config, f.name)
         if isinstance(value, tuple):
-            value = list(value)
+            value = [list(v) if isinstance(v, tuple) else v for v in value]
         out[f.name] = value
     return out
 
 
 def flow_key(circuit_name: str, scale: float, config: FlowConfig,
              *, with_schedules: bool, with_coverage_schedules: bool) -> str:
-    """Stable hex digest identifying one flow execution."""
+    """Stable hex digest identifying one whole-flow execution.
+
+    Stage artifacts are keyed by the pipeline's content hashes, not by
+    this; it remains the coarse identity used for in-process bookkeeping
+    and external tooling.
+    """
     payload = {
         "version": CACHE_VERSION,
         "circuit": circuit_name,
@@ -127,3 +140,17 @@ class ArtifactCache:
             # Read-only filesystems / quota: caching is an optimization,
             # never a hard failure.
             pass
+
+
+class StageCache(ArtifactCache):
+    """The per-stage content-addressed store the pipeline plugs into.
+
+    Entries live under a ``v<CACHE_VERSION>`` namespace of the cache
+    directory, so bumping the global salt orphans (rather than corrupts)
+    every pre-existing entry.  Keys are the pipeline's Merkle-style stage
+    hashes (:meth:`repro.core.pipeline.Pipeline.stage_keys`).
+    """
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        base = Path(root) if root is not None else default_cache_dir()
+        super().__init__(base / f"v{CACHE_VERSION}")

@@ -7,13 +7,22 @@ the :class:`FlowResult` at three levels:
 * **in-process** — keyed by the full :class:`SuiteRunConfig` (including the
   effective job count, so runs under different ``REPRO_JOBS`` settings never
   alias each other's timer splits);
-* **on disk** — via :mod:`repro.experiments.artifact_cache`, so repeated
-  table/bench invocations skip completed flows across processes and
-  sessions (results are identical for any job count, hence the disk key
-  excludes it);
+* **on disk** — at *stage* granularity via
+  :class:`repro.experiments.artifact_cache.StageCache`: every flow runs
+  against the shared stage store, so repeated invocations skip completed
+  stages across processes and sessions, a partially-completed suite run
+  resumes from the last finished stage of each circuit, and a fully cached
+  flow is assembled without executing anything
+  (:meth:`~repro.core.flow.HdfTestFlow.cached_result`);
 * **across workers** — with ``jobs > 1`` the circuits fan out over a fork
   process pool; each worker runs its flow with in-process stage parallelism
-  disabled (no nested pools) and ships back ``(result, timer)``.
+  disabled (no nested pools) and ships back ``(result, timer)``.  Atomic
+  stage-store writes make the shared cache directory safe under
+  concurrency.
+
+``run_suite(..., recompute_from=("schedule",))`` bypasses the cached
+artifacts of the named pipeline stages plus their downstream closure —
+unknown stage names raise ``ValueError`` listing the registered stages.
 """
 
 from __future__ import annotations
@@ -25,12 +34,9 @@ from dataclasses import dataclass, field, replace
 from repro.circuits.library import QUICK_SUITE_NAMES, paper_suite, suite_circuit
 from repro.core.config import FlowConfig
 from repro.core.flow import HdfTestFlow
+from repro.core.pipeline import DEFAULT_PIPELINE
 from repro.core.results import FlowResult
-from repro.experiments.artifact_cache import (
-    ArtifactCache,
-    cache_enabled,
-    flow_key,
-)
+from repro.experiments.artifact_cache import StageCache, cache_enabled
 from repro.utils.profiling import StageTimer
 
 
@@ -82,6 +88,10 @@ def clear_cache() -> None:
     _CACHE.clear()
 
 
+def _stage_cache() -> StageCache | None:
+    return StageCache() if cache_enabled() else None
+
+
 def _flow_config(cfg: SuiteRunConfig, pattern_cap: int | None,
                  stage_jobs: int) -> FlowConfig:
     return FlowConfig(
@@ -94,25 +104,34 @@ def _flow_config(cfg: SuiteRunConfig, pattern_cap: int | None,
     )
 
 
+def _suite_flow(name: str, cfg: SuiteRunConfig, pattern_cap: int | None,
+                stage_jobs: int) -> HdfTestFlow:
+    circuit = suite_circuit(name, scale=cfg.scale)
+    return HdfTestFlow(circuit, _flow_config(cfg, pattern_cap, stage_jobs))
+
+
 def _execute_flow(name: str, cfg: SuiteRunConfig, pattern_cap: int | None,
                   stage_jobs: int, progress: bool,
-                  timer: StageTimer | None) -> FlowResult:
-    circuit = suite_circuit(name, scale=cfg.scale)
+                  timer: StageTimer | None,
+                  recompute_from: tuple[str, ...] = ()) -> FlowResult:
+    flow = _suite_flow(name, cfg, pattern_cap, stage_jobs)
     note = (lambda m, _n=name: print(f"[{_n}] {m}")) if progress else None
-    return HdfTestFlow(circuit,
-                       _flow_config(cfg, pattern_cap, stage_jobs)).run(
+    return flow.run(
         with_schedules=cfg.with_schedules,
         with_coverage_schedules=cfg.with_coverage_schedules,
-        progress=note, timer=timer)
+        progress=note, timer=timer,
+        cache=_stage_cache(), recompute_from=recompute_from)
 
 
-def _worker_run(args: tuple[str, SuiteRunConfig, int | None, bool]
+def _worker_run(args: tuple[str, SuiteRunConfig, int | None, bool,
+                            tuple[str, ...]]
                 ) -> tuple[str, FlowResult, StageTimer]:
     """Pool entry point: run one circuit flow, stage pools disabled."""
-    name, cfg, pattern_cap, progress = args
+    name, cfg, pattern_cap, progress, recompute_from = args
     timer = StageTimer()
     result = _execute_flow(name, cfg, pattern_cap, stage_jobs=1,
-                           progress=progress, timer=timer)
+                           progress=progress, timer=timer,
+                           recompute_from=recompute_from)
     return name, result, timer
 
 
@@ -126,31 +145,36 @@ def _pool_context() -> mp.context.BaseContext:
 
 def run_suite(config: SuiteRunConfig | None = None,
               *, progress: bool = False,
-              timer: StageTimer | None = None) -> dict[str, FlowResult]:
+              timer: StageTimer | None = None,
+              recompute_from: tuple[str, ...] = ()) -> dict[str, FlowResult]:
     """Run (or fetch cached) flow results for every circuit of the config.
 
     ``timer`` accumulates the per-stage wall-clock split across all
     circuits actually executed (cache hits contribute nothing; parallel
-    workers' splits are merged in).
+    workers' splits are merged in).  ``recompute_from`` forces the named
+    pipeline stages plus everything downstream to recompute even when
+    cached — unknown names raise ``ValueError`` listing the registered
+    stages.
     """
     cfg = config or SuiteRunConfig()
+    recompute_from = tuple(recompute_from)
+    if recompute_from:
+        DEFAULT_PIPELINE.descendants(recompute_from)  # validate names early
     entry = _CACHE.setdefault(cfg, _CacheEntry())
     suite = {e.name: e for e in paper_suite(list(cfg.names))}
-    disk = ArtifactCache() if cache_enabled() else None
+    disk = _stage_cache()
 
     caps = {name: suite[name].pattern_budget(scale=cfg.scale)
             for name in cfg.names}
-    keys = {}
     pending: list[str] = []
     for name in cfg.names:
-        if name in entry.results:
+        if name in entry.results and not recompute_from:
             continue
-        if disk is not None:
-            keys[name] = flow_key(
-                name, cfg.scale, _flow_config(cfg, caps[name], 1),
+        if disk is not None and not recompute_from:
+            cached = _suite_flow(name, cfg, caps[name], 1).cached_result(
                 with_schedules=cfg.with_schedules,
-                with_coverage_schedules=cfg.with_coverage_schedules)
-            cached = disk.load(keys[name])
+                with_coverage_schedules=cfg.with_coverage_schedules,
+                cache=disk)
             if cached is not None:
                 entry.results[name] = cached
                 continue
@@ -158,7 +182,8 @@ def run_suite(config: SuiteRunConfig | None = None,
 
     if len(pending) > 1 and cfg.jobs > 1:
         ctx = _pool_context()
-        args = [(name, cfg, caps[name], progress) for name in pending]
+        args = [(name, cfg, caps[name], progress, recompute_from)
+                for name in pending]
         with ctx.Pool(processes=min(cfg.jobs, len(pending))) as pool:
             for name, result, wtimer in pool.imap(_worker_run, args):
                 entry.results[name] = result
@@ -169,9 +194,7 @@ def run_suite(config: SuiteRunConfig | None = None,
         for name in pending:
             entry.results[name] = _execute_flow(
                 name, cfg, caps[name], stage_jobs=cfg.jobs,
-                progress=progress, timer=timer)
+                progress=progress, timer=timer,
+                recompute_from=recompute_from)
 
-    if disk is not None:
-        for name in pending:
-            disk.store(keys[name], entry.results[name])
     return {name: entry.results[name] for name in cfg.names}

@@ -13,6 +13,7 @@ registers attached to a subset of the PPOs (Sec. III of the paper).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
@@ -482,6 +483,23 @@ class Circuit:
     # ------------------------------------------------------------------
     # Misc
     # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """Stable sha256 over the full netlist content.
+
+        Covers name, structure (gate names/kinds/fanin/outputs) and the
+        timing annotation (pin delays, cells), so two circuits hash equal
+        iff every flow stage would treat them identically.  Recomputed on
+        every call — delays may be rescaled after finalize (aging models),
+        so the digest is deliberately not memoized.
+        """
+        h = hashlib.sha256()
+        h.update(self.name.encode())
+        h.update(repr(self.outputs).encode())
+        for g in self.gates:
+            h.update(f"{g.name}|{g.kind}|{g.fanin}|"
+                     f"{g.pin_delays!r}|{g.cell}\n".encode())
+        return h.hexdigest()
+
     def stats(self) -> dict[str, int]:
         return {
             "gates": self.num_gates,

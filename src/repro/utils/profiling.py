@@ -6,6 +6,13 @@ named stages.  The fault-simulation engine feeds it the per-stage split —
 benchmark suite persists the result to ``BENCH_detection.json`` so every PR
 leaves a machine-readable perf trajectory behind (see EXPERIMENTS.md).
 
+Nested :meth:`StageTimer.stage` contexts are tracked hierarchically: an
+inner block is credited under the path key ``outer/inner`` and its elapsed
+time is *subtracted* from the outer block's credit, so :meth:`total` always
+equals true wall clock no matter how deeply (or re-entrantly) contexts
+nest.  Plain :meth:`add` calls are unaffected — they credit exactly what
+the caller measured.
+
 The timer is opt-in and costs two ``perf_counter()`` calls per measured
 block; hot loops guard on ``timer is not None`` so the default path pays
 nothing.
@@ -21,11 +28,22 @@ from typing import Iterator
 class StageTimer:
     """Accumulates wall-clock time per named stage."""
 
-    __slots__ = ("totals", "counts")
+    __slots__ = ("totals", "counts", "_stack")
 
     def __init__(self) -> None:
         self.totals: dict[str, float] = {}
         self.counts: dict[str, int] = {}
+        # Active stage() frames: [name, child_elapsed_seconds].
+        self._stack: list[list] = []
+
+    def __getstate__(self) -> dict[str, object]:
+        # Active frames are meaningless across processes; ship totals only.
+        return {"totals": self.totals, "counts": self.counts}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.totals = state["totals"]  # type: ignore[assignment]
+        self.counts = state["counts"]  # type: ignore[assignment]
+        self._stack = []
 
     def add(self, stage: str, seconds: float, *, count: int = 1) -> None:
         """Credit ``seconds`` (and ``count`` hits) to ``stage``."""
@@ -34,12 +52,24 @@ class StageTimer:
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
-        """Context manager measuring one block."""
+        """Context manager measuring one block.
+
+        Nested (or re-entrant) contexts record under hierarchical
+        ``parent/child`` keys and credit each frame with its *self* time
+        only, so summing all stages never double-counts wall clock.
+        """
         t0 = time.perf_counter()
+        frame = [name, 0.0]
+        self._stack.append(frame)
         try:
             yield
         finally:
-            self.add(name, time.perf_counter() - t0)
+            elapsed = time.perf_counter() - t0
+            label = "/".join(f[0] for f in self._stack)
+            self._stack.pop()
+            if self._stack:
+                self._stack[-1][1] += elapsed
+            self.add(label, elapsed - frame[1])
 
     def total(self, stage: str | None = None) -> float:
         """Seconds spent in ``stage`` (all stages when None)."""

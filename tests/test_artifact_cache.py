@@ -6,7 +6,9 @@ from pathlib import Path
 
 from repro.core.config import FlowConfig
 from repro.experiments.artifact_cache import (
+    CACHE_VERSION,
     ArtifactCache,
+    StageCache,
     cache_enabled,
     config_fingerprint,
     default_cache_dir,
@@ -34,7 +36,8 @@ class TestFlowKey:
 
     def test_semantic_fields_change_key(self):
         assert _key(config=FlowConfig(atpg_seed=9)) != _key()
-        assert _key(config=FlowConfig(atpg_engine="reference")) != _key()
+        assert _key(config=FlowConfig(
+            engines=(("atpg", "reference"),))) != _key()
         assert _key(scale=0.5) != _key()
         assert _key(circuit_name="c17") != _key()
         assert _key(with_schedules=False) != _key()
@@ -44,7 +47,8 @@ class TestFlowKey:
         fp = config_fingerprint(FlowConfig(simulation_jobs=8))
         assert "simulation_jobs" not in fp
         assert "schedule_jobs" not in fp
-        assert fp["atpg_engine"] == "matrix"
+        assert ["atpg", "matrix"] in fp["engines"]
+        assert ["simulation", "incremental"] in fp["engines"]
 
 
 class TestEnvironment:
@@ -98,3 +102,23 @@ class TestArtifactCache:
         cache.store(_key(), list(range(100)))
         leftovers = [p for p in tmp_path.rglob("*.tmp")]
         assert leftovers == []
+
+
+class TestStageCache:
+    def test_namespaced_by_global_version(self, tmp_path):
+        cache = StageCache(tmp_path)
+        assert cache.root == tmp_path / f"v{CACHE_VERSION}"
+        key = _key()
+        cache.store(key, "artifact")
+        assert (tmp_path / f"v{CACHE_VERSION}" / key[:2]
+                / f"{key}.pkl").exists()
+        assert cache.load(key) == "artifact"
+
+    def test_version_bump_orphans_old_entries(self, tmp_path):
+        key = _key()
+        ArtifactCache(tmp_path / "v0").store(key, "stale")
+        assert StageCache(tmp_path).load(key) is None
+
+    def test_default_root_follows_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert StageCache().root == tmp_path / "env" / f"v{CACHE_VERSION}"

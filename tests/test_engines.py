@@ -1,0 +1,98 @@
+"""Tests for the engine registry and per-stage engine selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FlowConfig
+from repro.core.engines import ENGINES, EngineRegistry
+
+
+class TestRegistry:
+    def test_default_registry_contents(self):
+        assert ENGINES.stages() == ("atpg", "schedule", "simulation")
+        assert ENGINES.names("atpg") == ("matrix", "reference")
+        assert ENGINES.names("simulation") == ("incremental", "reference")
+        assert ENGINES.default("atpg") == "matrix"
+        assert ENGINES.default("simulation") == "incremental"
+        assert ENGINES.default("schedule") == "bitset"
+
+    def test_resolve_default_and_named(self):
+        assert ENGINES.resolve("atpg").name == "matrix"
+        assert ENGINES.resolve("atpg", "reference").name == "reference"
+
+    def test_resolve_unknown_engine_lists_alternatives(self):
+        with pytest.raises(ValueError,
+                           match=r"registered: matrix, reference"):
+            ENGINES.resolve("atpg", "quantum")
+
+    def test_unknown_stage_lists_stages(self):
+        with pytest.raises(ValueError, match="atpg, schedule, simulation"):
+            ENGINES.resolve("frobnicate")
+
+    def test_duplicate_registration_rejected(self):
+        reg = EngineRegistry()
+        reg.register("s", "a", lambda: None)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("s", "a", lambda: None)
+
+    def test_first_registration_is_implicit_default(self):
+        reg = EngineRegistry()
+        reg.register("s", "a", lambda: None)
+        reg.register("s", "b", lambda: None)
+        assert reg.default("s") == "a"
+        reg2 = EngineRegistry()
+        reg2.register("s", "a", lambda: None)
+        reg2.register("s", "b", lambda: None, default=True)
+        assert reg2.default("s") == "b"
+
+
+class TestFlowConfigSelection:
+    def test_defaults_normalized(self):
+        cfg = FlowConfig()
+        assert cfg.engines == (("atpg", "matrix"), ("schedule", "bitset"),
+                               ("simulation", "incremental"))
+        assert cfg.engine_for("atpg") == "matrix"
+        assert cfg.engine_for("simulation") == "incremental"
+
+    def test_explicit_selection(self):
+        cfg = FlowConfig(engines=(("atpg", "reference"),))
+        assert cfg.engine_for("atpg") == "reference"
+        assert cfg.engine_for("simulation") == "incremental"  # default kept
+
+    def test_unknown_engine_rejected_with_alternatives(self):
+        with pytest.raises(ValueError, match="registered: matrix, reference"):
+            FlowConfig(engines=(("atpg", "quantum"),))
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="stages with engines"):
+            FlowConfig(engines=(("routing", "fast"),))
+
+    def test_conflicting_selection_rejected(self):
+        with pytest.raises(ValueError, match="conflicting engines"):
+            FlowConfig(engines=(("atpg", "matrix"), ("atpg", "reference")))
+
+
+class TestDeprecatedShims:
+    def test_atpg_engine_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="atpg_engine"):
+            cfg = FlowConfig(atpg_engine="reference")
+        assert cfg.engine_for("atpg") == "reference"
+        assert cfg.atpg_engine == "reference"  # attribute stays readable
+
+    def test_simulation_engine_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="simulation_engine"):
+            cfg = FlowConfig(simulation_engine="reference")
+        assert cfg.engine_for("simulation") == "reference"
+        assert cfg.simulation_engine == "reference"
+
+    def test_explicit_engines_beat_the_shim(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = FlowConfig(engines=(("atpg", "matrix"),),
+                             atpg_engine="reference")
+        assert cfg.engine_for("atpg") == "matrix"
+
+    def test_resolved_attributes_without_shim(self):
+        cfg = FlowConfig()
+        assert cfg.atpg_engine == "matrix"
+        assert cfg.simulation_engine == "incremental"

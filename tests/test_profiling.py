@@ -46,6 +46,80 @@ class TestStageTimer:
         assert json.loads(json.dumps(t.as_dict())) == t.as_dict()
 
 
+class TestNestedStages:
+    """Regression: nested/re-entrant stage() used to double-count total()."""
+
+    def _spin(self, seconds):
+        import time
+
+        end = time.perf_counter() + seconds
+        while time.perf_counter() < end:
+            pass
+
+    def test_nested_stage_does_not_double_count_total(self):
+        import time
+
+        t = StageTimer()
+        t0 = time.perf_counter()
+        with t.stage("outer"):
+            self._spin(0.01)
+            with t.stage("inner"):
+                self._spin(0.02)
+            self._spin(0.01)
+        wall = time.perf_counter() - t0
+        # Before the fix total() was ~wall + inner (inner counted twice).
+        assert t.total() == pytest.approx(wall, rel=0.25)
+        assert t.total() < 1.5 * wall
+
+    def test_nested_stage_uses_hierarchical_keys(self):
+        t = StageTimer()
+        with t.stage("outer"):
+            with t.stage("inner"):
+                pass
+        assert set(t.totals) == {"outer", "outer/inner"}
+        assert t.counts["outer/inner"] == 1
+
+    def test_reentrant_same_name(self):
+        t = StageTimer()
+        with t.stage("x"):
+            self._spin(0.005)
+            with t.stage("x"):
+                self._spin(0.005)
+        assert set(t.totals) == {"x", "x/x"}
+        assert t.total() == pytest.approx(
+            t.totals["x"] + t.totals["x/x"])
+
+    def test_self_time_excludes_children(self):
+        t = StageTimer()
+        with t.stage("outer"):
+            with t.stage("inner"):
+                self._spin(0.02)
+        # Outer self time is near zero, not ~0.02s.
+        assert t.totals["outer"] < t.totals["outer/inner"]
+
+    def test_exception_unwinds_stack(self):
+        t = StageTimer()
+        with pytest.raises(RuntimeError):
+            with t.stage("outer"):
+                with t.stage("inner"):
+                    raise RuntimeError("boom")
+        assert t._stack == []
+        assert set(t.totals) == {"outer", "outer/inner"}
+        # The timer remains usable with flat keys afterwards.
+        with t.stage("later"):
+            pass
+        assert "later" in t.totals
+
+    def test_pickle_roundtrip_drops_active_frames(self):
+        import pickle
+
+        t = StageTimer()
+        t.add("x", 1.0)
+        clone = pickle.loads(pickle.dumps(t))
+        assert clone.totals == t.totals
+        assert clone._stack == []
+
+
 def test_detection_timer_stage_counts(s27):
     """The detection stage split lands in the documented stage names."""
     from repro.atpg.transition import generate_transition_tests

@@ -128,17 +128,56 @@ class TestDiskCache:
                                                          monkeypatch,
                                                          tmp_path):
         first = run_suite(disk_cfg)
-        assert any(tmp_path.rglob("*.pkl"))  # artifact persisted
+        assert any(tmp_path.rglob("*.pkl"))  # stage artifacts persisted
 
         clear_cache()  # wipe in-memory layer; only the disk copy remains
 
-        class Boom:
-            def __init__(self, *a, **k):
-                raise AssertionError("flow must not execute on a cache hit")
+        def boom(self, ctx, inputs):
+            raise AssertionError("stage must not execute on a cache hit")
 
-        monkeypatch.setattr("repro.experiments.runner.HdfTestFlow", Boom)
+        monkeypatch.setattr("repro.core.stages.Stage.run", boom)
         second = run_suite(disk_cfg)
         assert _signature(first["s9234"]) == _signature(second["s9234"])
+        meta = second["s9234"].meta
+        assert all(s["cache"] == "hit" for s in meta["stages"].values())
+        assert meta["cache"] == {"hits": len(meta["stages"]), "misses": 0}
+
+    def test_partial_run_resumes_from_last_finished_stage(self, disk_cfg):
+        from repro.core.stages import ScheduleStage
+
+        # Simulate a run killed during schedule optimization: everything
+        # upstream landed in the stage store, the schedule artifact didn't.
+        def die(self, ctx, inputs):
+            raise RuntimeError("killed mid-flow")
+
+        resumed_cfg = SuiteRunConfig(names=("s9234",), scale=0.25,
+                                     with_schedules=True)
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(ScheduleStage, "run", die)
+            with pytest.raises(RuntimeError, match="killed mid-flow"):
+                run_suite(resumed_cfg)
+        clear_cache()
+
+        result = run_suite(resumed_cfg)["s9234"]
+        stages = result.meta["stages"]
+        assert stages["schedule"]["cache"] == "miss"   # recomputed
+        for name in ("sta", "faults", "atpg", "simulation", "classify"):
+            assert stages[name]["cache"] == "hit", name
+
+    def test_recompute_from_forces_downstream_only(self, disk_cfg):
+        run_suite(disk_cfg)
+        clear_cache()
+        result = run_suite(disk_cfg,
+                           recompute_from=("simulation",))["s9234"]
+        stages = result.meta["stages"]
+        for name in ("sta", "faults", "atpg"):
+            assert stages[name]["cache"] == "hit", name
+        for name in ("simulation", "classify", "schedule"):
+            assert stages[name]["cache"] == "computed", name
+
+    def test_recompute_from_rejects_unknown_stage(self, disk_cfg):
+        with pytest.raises(ValueError, match="registered stages"):
+            run_suite(disk_cfg, recompute_from=("nope",))
 
     def test_disabled_cache_writes_nothing(self, disk_cfg, monkeypatch,
                                            tmp_path):

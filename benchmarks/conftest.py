@@ -28,8 +28,9 @@ RESULTS_DIR = (Path(__file__).resolve().parent.parent / "results"
                / ("full" if _PROFILE == "full" else "quick"))
 
 #: Machine-readable fault-simulation perf trajectory (see EXPERIMENTS.md):
-#: written by test_bench_detection.py, consumed by the perf smoke test in
-#: tests/test_perf_smoke.py and by future PRs comparing against it.
+#: written by test_bench_detection.py (per-engine quick-profile totals plus
+#: the s38417-scale ``large_circuit`` entry), consumed by the perf smoke
+#: test in tests/test_perf_smoke.py and by ``repro bench``.
 BENCH_DETECTION_FILE = (Path(__file__).resolve().parent.parent
                         / "BENCH_detection.json")
 

@@ -211,22 +211,30 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _bench_detection_current(res) -> float:
+def _bench_detection_engines(res) -> dict[str, float]:
+    """Best-of-two wall clock of every registered simulation engine."""
     import time
 
     from repro.faults.detection import compute_detection_data
 
-    best = float("inf")
-    for _ in range(2):       # warm-up + measured (cone caches fill once)
-        t0 = time.perf_counter()
-        compute_detection_data(
-            res.circuit, res.data.faults, res.test_set,
-            horizon=res.clock.t_nom,
-            monitored_gates=res.placement.monitored_gates,
-            inertial=FlowConfig().inertial_ps,
-            engine="incremental")
-        best = min(best, time.perf_counter() - t0)
-    return best
+    out: dict[str, float] = {}
+    for engine in ("reference", "incremental", "wordwave"):
+        best = float("inf")
+        for _ in range(2):   # warm-up + measured (plan/cone caches fill once)
+            t0 = time.perf_counter()
+            compute_detection_data(
+                res.circuit, res.data.faults, res.test_set,
+                horizon=res.clock.t_nom,
+                monitored_gates=res.placement.monitored_gates,
+                inertial=FlowConfig().inertial_ps,
+                engine=engine)
+            best = min(best, time.perf_counter() - t0)
+        out[engine] = best
+    return out
+
+
+def _bench_detection_current(res) -> float:
+    return _bench_detection_engines(res)["wordwave"]
 
 
 def _bench_schedule_current(res) -> float:
@@ -279,15 +287,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "schedule": (root / "BENCH_schedule.json", _bench_schedule_current),
         "atpg": (root / "BENCH_atpg.json", _bench_atpg_current),
     }
-    if args.stage != "all":
-        if args.stage not in stages:
+    # The detection workload is the engine registry's "simulation" stage;
+    # accept either spelling.
+    stage_arg = "detection" if args.stage == "simulation" else args.stage
+    if stage_arg != "all":
+        if stage_arg not in stages:
             known = ", ".join(stages)
             print(f"error: unknown bench stage {args.stage!r} "
                   f"(registered stages: {known})", file=sys.stderr)
             return 2
-        stages = {args.stage: stages[args.stage]}
+        stages = {stage_arg: stages[stage_arg]}
 
     rows = []
+    engine_rows = []
     cache_rows: dict[str, dict] = {}
     seen_results: set[int] = set()
 
@@ -324,7 +336,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         committed_total = current_total = 0.0
         for name in names:
             committed = baseline["circuits"][name]["total_s"]
-            current = measure(results[name])
+            if stage == "detection":
+                engines = _bench_detection_engines(results[name])
+                current = engines["wordwave"]
+                engine_rows.append({
+                    "circuit": name,
+                    "reference_s": f"{engines['reference']:.3f}",
+                    "incremental_s": f"{engines['incremental']:.3f}",
+                    "wordwave_s": f"{engines['wordwave']:.3f}",
+                    "speedup_vs_ref": round(
+                        engines["reference"] / engines["wordwave"], 2),
+                    "speedup_vs_inc": round(
+                        engines["incremental"] / engines["wordwave"], 2),
+                })
+            else:
+                current = measure(results[name])
             committed_total += committed
             current_total += current
             rows.append({
@@ -345,6 +371,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not rows:
         return 1
     print(format_table(rows, title="Perf baselines: current vs committed"))
+    if engine_rows:
+        print(format_table(
+            engine_rows,
+            title="Simulation engines: reference vs incremental vs wordwave"))
     if cache_rows:
         stage_rows = [{"stage": r["stage"], "hits": r["hits"],
                        "misses": r["misses"],
@@ -431,9 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="re-measure perf baselines and print deltas")
     p_bench.add_argument("--stage", default="all",
-                         help="bench workload to re-measure: all, detection, "
-                              "schedule or atpg (unknown names are rejected "
-                              "with the registered list)")
+                         help="bench workload to re-measure: all, detection "
+                              "(alias: simulation, adds the per-engine "
+                              "delta table), schedule or atpg (unknown "
+                              "names are rejected with the registered list)")
     p_bench.add_argument("--root", type=Path, default=None,
                          help="directory holding the BENCH_*.json baselines "
                               "(default: the repo root)")

@@ -117,8 +117,11 @@ def _build_default_registry() -> EngineRegistry:
                  doc="vectorized word-matrix fault grading (PR 4)")
     reg.register("atpg", "reference", _atpg_adapter("reference"),
                  doc="seed big-int grading pipeline, kept for cross-checks")
+    reg.register("simulation", "wordwave",
+                 _simulation_adapter("wordwave"), default=True,
+                 doc="batched array-kernel timed waveform simulation (PR 6)")
     reg.register("simulation", "incremental",
-                 _simulation_adapter("incremental"), default=True,
+                 _simulation_adapter("incremental"),
                  doc="event-driven incremental fault simulation (PR 1)")
     reg.register("simulation", "reference",
                  _simulation_adapter("reference"),

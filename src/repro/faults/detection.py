@@ -16,13 +16,17 @@ portion below ``t_min`` is unobservable by flip-flops but becomes relevant
 once shifted by a monitor delay, which is precisely the paper's mechanism for
 recovering otherwise hidden faults.
 
-Engine: the default ``"incremental"`` engine combines a bit-parallel
-activation pre-grading pass (all patterns graded in one packed sweep before
-any waveform is computed) with the change-driven cone-schedule fault
-simulator (:meth:`WaveformSimulator.simulate_fault`).  The seed
-``"reference"`` engine is retained for golden-equivalence testing and as the
-before-side of the persistent perf baseline (``BENCH_detection.json``); both
-produce bit-identical :class:`DetectionData`.
+Engine: the default ``"wordwave"`` engine runs the whole fault universe
+through batched NumPy array kernels (:mod:`repro.simulation.word_wave`) —
+flat event arrays merged in levelized order, with activation, injection and
+interval extraction all vectorized across (fault, pattern) instances.  The
+``"incremental"`` engine combines a bit-parallel activation pre-grading pass
+with the change-driven cone-schedule fault simulator
+(:meth:`WaveformSimulator.simulate_fault`) and doubles as the fallback for
+workloads outside the array kernels' envelope.  The seed ``"reference"``
+engine is retained for golden-equivalence testing and as the before-side of
+the persistent perf baseline (``BENCH_detection.json``); all three produce
+bit-identical :class:`DetectionData`.
 """
 
 from __future__ import annotations
@@ -40,7 +44,17 @@ from repro.utils.intervals import IntervalAccumulator, IntervalSet
 from repro.utils.profiling import StageTimer
 
 #: Recognized values of the ``engine`` parameter.
-ENGINES = ("incremental", "reference")
+ENGINES = ("wordwave", "incremental", "reference")
+
+
+def _build_simulator(circuit: Circuit, inertial: float) -> WaveformSimulator:
+    """Single choke point for event-driven simulator construction.
+
+    Both the serial path and the multiprocessing worker initializer build
+    their :class:`WaveformSimulator` here, so engine-dependent setup (and
+    any future tuning of the inertial handling) lives in exactly one place.
+    """
+    return WaveformSimulator(circuit, inertial=inertial)
 
 
 @dataclass(frozen=True)
@@ -259,7 +273,7 @@ _WORKER: dict[str, object] = {}
 def _worker_init(circuit, faults, inertial, horizon, monitored,
                  glitch_threshold, active_masks,
                  engine):  # pragma: no cover - subprocess body
-    _WORKER["sim"] = WaveformSimulator(circuit, inertial=inertial)
+    _WORKER["sim"] = _build_simulator(circuit, inertial)
     _WORKER["faults"] = faults
     reach, site_signal = _prepare_reach(circuit, faults)
     _WORKER["reach"] = reach
@@ -287,7 +301,7 @@ def compute_detection_data(
     glitch_threshold: float | None = None,
     progress: Callable[[int, int], None] | None = None,
     jobs: int = 1,
-    engine: str = "incremental",
+    engine: str = "wordwave",
     timer: StageTimer | None = None,
 ) -> DetectionData:
     """Simulate every pattern against every (activated) fault.
@@ -297,16 +311,23 @@ def compute_detection_data(
     inertial threshold.  ``progress(done, total)`` is called once per pattern
     when provided; ``done`` counts patterns in pattern order on both the
     sequential and the multiprocessing path, so ``done - 1`` is always the
-    index of the pattern just finished.  ``jobs > 1`` distributes patterns
-    over worker processes (results are identical to the sequential path —
-    patterns are independent).
+    index of the pattern just finished.  The ``wordwave`` engine simulates
+    all patterns in one batched sweep and reports ``progress(total, total)``
+    once at the end.  ``jobs > 1`` distributes patterns over worker
+    processes on the event-driven engines (results are identical to the
+    sequential path — patterns are independent); ``wordwave`` is
+    single-process and ignores ``jobs``.
 
-    ``engine`` selects ``"incremental"`` (bit-parallel pre-grading +
-    change-driven cone-schedule propagation; default) or ``"reference"``
-    (the seed full-cone resweep, kept for equivalence testing and perf
-    baselining).  Both engines return bit-identical data.  ``timer``, when
-    given, accumulates the per-stage wall-clock split (``pregrade`` /
-    ``base_sim`` / ``faulty_sim`` / ``intervals``; sequential path only).
+    ``engine`` selects ``"wordwave"`` (batched NumPy array kernels over flat
+    event storage; default), ``"incremental"`` (bit-parallel pre-grading +
+    change-driven cone-schedule propagation) or ``"reference"`` (the seed
+    full-cone resweep, kept for equivalence testing and perf baselining).
+    All engines return bit-identical data; ``wordwave`` falls back to
+    ``incremental`` for workloads outside its envelope (don't-care patterns,
+    gate kinds without truth-table kernels, fan-in above the kernel limit,
+    or a degenerate inertial threshold).  ``timer``, when given, accumulates
+    the per-stage wall-clock split (``pregrade`` / ``base_sim`` /
+    ``site_inject`` / ``faulty_sim`` / ``intervals``; sequential path only).
     """
     if glitch_threshold is None:
         glitch_threshold = inertial
@@ -324,7 +345,26 @@ def compute_detection_data(
     )
     total = len(patterns)
 
+    if engine == "wordwave":
+        from repro.simulation.word_wave import (run_wordwave,
+                                                wordwave_fallback_reason)
+        reason = wordwave_fallback_reason(circuit, patterns, inertial)
+        if reason is None and run_wordwave(
+                data, inertial=inertial,
+                glitch_threshold=glitch_threshold, timer=timer):
+            if progress is not None:
+                progress(total, total)
+            return data
+        # Workload outside the array kernels' envelope (don't-cares, exotic
+        # gate kinds or fault sites, degenerate inertial): the incremental
+        # engine produces the identical DetectionData, just event-driven.
+        engine = "incremental"
+
+    # Per-fault reachable observation gates: only the event-driven engines
+    # walk explicit cone lists (wordwave decides eligibility on its plan's
+    # reachability bitmap instead).
     reach, site_signal = _prepare_reach(circuit, data.faults)
+
     active_masks: list[int] | None = None
     if engine == "incremental" and data.faults:
         t0 = time.perf_counter() if timer is not None else 0.0
@@ -333,7 +373,7 @@ def compute_detection_data(
             timer.add("pregrade", time.perf_counter() - t0)
 
     if jobs == 1 or total <= 1:
-        sim = WaveformSimulator(circuit, inertial=inertial)
+        sim = _build_simulator(circuit, inertial)
         for pi, pattern in enumerate(patterns):
             for fi, fpr in _simulate_one_pattern(
                     sim, data.faults, reach, site_signal, pattern, pi,

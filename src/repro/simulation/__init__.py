@@ -8,7 +8,11 @@
 * :mod:`repro.simulation.parallel_sim` — 64-way bit-parallel two-valued
   simulator used by the ATPG for fault dropping,
 * :mod:`repro.simulation.event_sim` — event-driven reference engine used to
-  cross-check the topological simulator in tests.
+  cross-check the topological simulator in tests,
+* :mod:`repro.simulation.word_wave` — batched array-kernel timed waveform
+  engine (flat event arrays, levelized merge kernels); the default
+  ``engine="wordwave"`` of the detection stage, golden-checked against
+  :mod:`repro.simulation.wave_sim`.
 """
 
 from repro.simulation.waveform import Waveform

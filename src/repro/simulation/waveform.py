@@ -9,6 +9,7 @@ output waveforms (Sec. III-B of the paper).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterable, Sequence
 
 from repro.utils.intervals import EPS, Interval, IntervalSet
@@ -64,14 +65,15 @@ class Waveform:
     # Queries
     # ------------------------------------------------------------------
     def value_at(self, t: float) -> int:
-        """Signal value at time ``t`` (right-continuous at transitions)."""
-        value = self.initial
-        for time, v in self.events:
-            if time <= t + EPS:
-                value = v
-            else:
-                break
-        return value
+        """Signal value at time ``t`` (right-continuous at transitions).
+
+        Binary search over the sorted event times: the value is the one set
+        by the last event at or before ``t + EPS``.  Values are 0/1, so the
+        probe ``(t + EPS, 2)`` sorts after every event at that time and
+        ``bisect_right`` lands exactly where the old linear scan stopped.
+        """
+        idx = bisect_right(self.events, (t + EPS, 2))
+        return self.events[idx - 1][1] if idx else self.initial
 
     @property
     def final_value(self) -> int:

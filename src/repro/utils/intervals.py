@@ -314,6 +314,30 @@ class IntervalAccumulator:
 _EMPTY = IntervalSet()
 
 
+def _interval_unchecked(lo: float, hi: float) -> Interval:
+    """:class:`Interval` without ``__post_init__`` validation.
+
+    For callers that construct intervals from already-validated numeric
+    arrays (the word-parallel simulation engine materializes thousands of
+    detection pieces per run); the dataclass machinery dominates otherwise.
+    """
+    iv = Interval.__new__(Interval)
+    object.__setattr__(iv, "lo", lo)
+    object.__setattr__(iv, "hi", hi)
+    return iv
+
+
+def _interval_set_from_sorted(ivals: tuple[Interval, ...]) -> IntervalSet:
+    """:class:`IntervalSet` from already-canonical intervals.
+
+    Callers must guarantee the constructor's invariants: sorted, pairwise
+    disjoint with gaps ``> EPS`` and no piece of length ``<= EPS``.
+    """
+    s = IntervalSet.__new__(IntervalSet)
+    object.__setattr__(s, "_ivals", ivals)
+    return s
+
+
 def segment_points(boundaries: Sequence[float], lo: float, hi: float) -> list[float]:
     """Deduplicated cut points partitioning ``[lo, hi]`` at ``boundaries``.
 

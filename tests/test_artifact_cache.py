@@ -48,7 +48,7 @@ class TestFlowKey:
         assert "simulation_jobs" not in fp
         assert "schedule_jobs" not in fp
         assert ["atpg", "matrix"] in fp["engines"]
-        assert ["simulation", "incremental"] in fp["engines"]
+        assert ["simulation", "wordwave"] in fp["engines"]
 
 
 class TestEnvironment:

@@ -108,7 +108,10 @@ class TestCommands:
         (tmp_path / "BENCH_schedule.json").write_text(json.dumps(baseline))
         monkeypatch.setattr(runner, "run_suite",
                             lambda cfg: {n: object() for n in cfg.names})
-        monkeypatch.setattr(cli, "_bench_detection_current", lambda res: 0.15)
+        monkeypatch.setattr(
+            cli, "_bench_detection_engines",
+            lambda res: {"reference": 0.6, "incremental": 0.3,
+                         "wordwave": 0.15})
         monkeypatch.setattr(cli, "_bench_schedule_current", lambda res: 0.1)
 
         rc = main(["bench", "--root", str(tmp_path)])
@@ -118,8 +121,16 @@ class TestCommands:
         assert out.count("total") == 2          # one summary row per stage
         # detection: 0.15s vs 0.1s committed -> +50%
         assert "50.0" in out
+        # the per-engine delta table accompanies the detection stage
+        assert "reference vs incremental vs wordwave" in out
+        assert "speedup_vs_inc" in out
         # schedule stage can be selected alone
         assert main(["bench", "--root", str(tmp_path),
                      "--stage", "schedule"]) == 0
         out = capsys.readouterr().out
         assert "detection" not in out
+        # --stage simulation is an alias for the detection workload
+        assert main(["bench", "--root", str(tmp_path),
+                     "--stage", "simulation"]) == 0
+        out = capsys.readouterr().out
+        assert "wordwave_s" in out

@@ -115,10 +115,21 @@ class TestMonitoredRanges:
 
 class TestProgress:
     def test_progress_callback(self, chain_setup):
+        # The batched wordwave engine sweeps all patterns at once and
+        # reports completion in a single call.
         c, ts = chain_setup
         seen = []
         faults = small_delay_fault_universe(c, delta=40.0)
         compute_detection_data(c, faults, ts, horizon=500.0,
+                               progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(2, 2)]
+
+    def test_progress_callback_incremental(self, chain_setup):
+        c, ts = chain_setup
+        seen = []
+        faults = small_delay_fault_universe(c, delta=40.0)
+        compute_detection_data(c, faults, ts, horizon=500.0,
+                               engine="incremental",
                                progress=lambda done, total: seen.append((done, total)))
         assert seen == [(1, 2), (2, 2)]
 
@@ -172,7 +183,7 @@ class TestParallelExecution:
         seen = []
         compute_detection_data(
             res.circuit, res.data.faults[:10], res.test_set,
-            horizon=res.clock.t_nom, jobs=2,
+            horizon=res.clock.t_nom, jobs=2, engine="incremental",
             progress=lambda done, total: seen.append((done, total)))
         assert len(seen) == len(res.test_set)
         assert seen[-1][0] == len(res.test_set)

@@ -12,9 +12,10 @@ class TestRegistry:
     def test_default_registry_contents(self):
         assert ENGINES.stages() == ("atpg", "schedule", "simulation")
         assert ENGINES.names("atpg") == ("matrix", "reference")
-        assert ENGINES.names("simulation") == ("incremental", "reference")
+        assert ENGINES.names("simulation") == (
+            "incremental", "reference", "wordwave")
         assert ENGINES.default("atpg") == "matrix"
-        assert ENGINES.default("simulation") == "incremental"
+        assert ENGINES.default("simulation") == "wordwave"
         assert ENGINES.default("schedule") == "bitset"
 
     def test_resolve_default_and_named(self):
@@ -51,14 +52,14 @@ class TestFlowConfigSelection:
     def test_defaults_normalized(self):
         cfg = FlowConfig()
         assert cfg.engines == (("atpg", "matrix"), ("schedule", "bitset"),
-                               ("simulation", "incremental"))
+                               ("simulation", "wordwave"))
         assert cfg.engine_for("atpg") == "matrix"
-        assert cfg.engine_for("simulation") == "incremental"
+        assert cfg.engine_for("simulation") == "wordwave"
 
     def test_explicit_selection(self):
         cfg = FlowConfig(engines=(("atpg", "reference"),))
         assert cfg.engine_for("atpg") == "reference"
-        assert cfg.engine_for("simulation") == "incremental"  # default kept
+        assert cfg.engine_for("simulation") == "wordwave"  # default kept
 
     def test_unknown_engine_rejected_with_alternatives(self):
         with pytest.raises(ValueError, match="registered: matrix, reference"):
@@ -95,4 +96,4 @@ class TestDeprecatedShims:
     def test_resolved_attributes_without_shim(self):
         cfg = FlowConfig()
         assert cfg.atpg_engine == "matrix"
-        assert cfg.simulation_engine == "incremental"
+        assert cfg.simulation_engine == "wordwave"

@@ -129,9 +129,21 @@ def test_detection_timer_stage_counts(s27):
 
     faults = small_delay_fault_universe(s27)
     ts = generate_transition_tests(s27, seed=3).test_set.filled(seed=3)
+    horizon = run_sta(s27).clock_period
+
+    # Default (wordwave): one batched sweep per stage, so counts are 1.
     timer = StageTimer()
-    compute_detection_data(
-        s27, faults, ts, horizon=run_sta(s27).clock_period, timer=timer)
+    compute_detection_data(s27, faults, ts, horizon=horizon, timer=timer)
+    d = timer.as_dict()
+    assert set(d) <= {"pregrade", "base_sim", "site_inject",
+                      "faulty_sim", "intervals"}
+    assert d["base_sim"]["count"] == 1
+    assert d["faulty_sim"]["count"] == d["intervals"]["count"] == 1
+
+    # Incremental: per-pattern base sweeps, per-instance faulty resims.
+    timer = StageTimer()
+    compute_detection_data(s27, faults, ts, horizon=horizon, timer=timer,
+                           engine="incremental")
     d = timer.as_dict()
     assert set(d) <= {"pregrade", "base_sim", "faulty_sim", "intervals"}
     assert d["pregrade"]["count"] == 1

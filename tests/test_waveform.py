@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.simulation.waveform import Waveform
+from repro.utils.intervals import EPS
 
 
 class TestConstruction:
@@ -51,6 +52,41 @@ class TestQueries:
     def test_value_at_sequence(self):
         w = Waveform(0, [(1.0, 1), (2.0, 0), (4.0, 1)])
         assert [w.value_at(t) for t in (0.5, 1.5, 3.0, 5.0)] == [0, 1, 0, 1]
+
+    def test_value_at_boundary_right_continuous(self):
+        """Bisect lookup keeps the EPS right-continuity of the old scan."""
+        w = Waveform(0, [(1.0, 1), (2.0, 0)])
+        # Exactly at a transition the new value already holds...
+        assert w.value_at(1.0) == 1
+        assert w.value_at(2.0) == 0
+        # ...including within EPS before it (the tolerance window)...
+        assert w.value_at(1.0 - EPS / 2) == 1
+        assert w.value_at(2.0 - EPS / 2) == 0
+        # ...but not beyond EPS before it.
+        assert w.value_at(1.0 - 3 * EPS) == 0
+        assert w.value_at(2.0 - 3 * EPS) == 1
+
+    def test_value_at_before_first_and_after_last(self):
+        w = Waveform(1, [(5.0, 0)])
+        assert w.value_at(-10.0) == 1
+        assert w.value_at(4.0) == 1
+        assert w.value_at(1e12) == 0
+        assert Waveform.constant(1).value_at(0.0) == 1
+
+    def test_value_at_matches_linear_scan(self):
+        """The bisect result equals the reference linear-scan definition."""
+        w = Waveform(0, [(1.0, 1), (2.5, 0), (4.0, 1), (8.0, 0)])
+
+        def scan(t):
+            value = w.initial
+            for et, ev in w.events:
+                if et <= t + EPS:
+                    value = ev
+            return value
+
+        probes = [t + d for t in (0.0, 1.0, 2.5, 4.0, 8.0)
+                  for d in (-1.0, -2 * EPS, -EPS / 2, 0.0, EPS / 2, 1.0)]
+        assert [w.value_at(t) for t in probes] == [scan(t) for t in probes]
 
     def test_last_event_time(self):
         assert Waveform(0, [(1.0, 1), (7.5, 0)]).last_event_time == 7.5

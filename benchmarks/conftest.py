@@ -46,6 +46,13 @@ BENCH_SCHEDULE_FILE = (Path(__file__).resolve().parent.parent
 BENCH_ATPG_FILE = (Path(__file__).resolve().parent.parent
                    / "BENCH_atpg.json")
 
+#: Machine-readable fleet Monte Carlo perf trajectory: written by
+#: test_bench_fleet.py (vectorized block kernel vs the per-device
+#: reference loop, plus the 10^5-device profile), consumed by the perf
+#: smoke test and by ``repro bench --stage fleet``.
+BENCH_FLEET_FILE = (Path(__file__).resolve().parent.parent
+                    / "BENCH_fleet.json")
+
 
 def _suite_config(**overrides) -> SuiteRunConfig:
     if _PROFILE == "full":

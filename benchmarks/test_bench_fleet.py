@@ -1,0 +1,185 @@
+"""Benchmark + persistent perf baseline of the fleet aging engines.
+
+Times the quick-profile fleet Monte Carlo workload (the exact workload
+``repro bench --stage fleet`` replays: an uncached ``sta -> aging``
+study at :data:`repro.experiments.fleet.BENCH_FLEET_DEVICES` devices)
+per suite circuit, pins the vectorized block kernel bit-identical to the
+per-device reference loop on a seeded 64-device slice, and extrapolates
+the reference engine's full-population cost from that slice.  A second
+benchmark runs the headline 10^5-device profile, where the vectorized
+engine must hold a >= 20x advantage over the (extrapolated) scalar loop.
+Results persist to ``BENCH_fleet.json`` at the repository root; the perf
+smoke test in ``tests/test_perf_smoke.py`` guards the committed numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+from conftest import _PROFILE, BENCH_FLEET_FILE, write_artifact
+
+from repro.aging.fleet import (
+    sample_population,
+    simulate_fleet_reference,
+    simulate_fleet_vectorized,
+)
+from repro.circuits.library import suite_circuit
+from repro.experiments.fleet import (
+    BENCH_FLEET_DEVICES,
+    bench_fleet_seconds,
+    bench_fleet_spec,
+)
+from repro.netlist.circuit import GateKind
+
+#: Quick-profile circuits (a subset of the detection bench suite).
+QUICK_CIRCUITS = ("s9234", "s13207", "s35932")
+
+#: Reference-loop slice sizes: the scalar engine is timed on a thin
+#: device slice and extrapolated linearly — devices are independent, so
+#: per-device cost is constant and the extrapolation exact in expectation.
+_QUICK_SLICE = 64
+_LARGE_DEVICES = 100_000
+_LARGE_SLICE = 256
+_LARGE_CIRCUIT = "s9234"
+
+#: Floor on the headline profile's vectorized-vs-scalar advantage.
+_LARGE_MIN_SPEEDUP = 20.0
+
+
+def _assert_identical(name, a, b):
+    """Bit-identical fleet results across engines (the hard requirement)."""
+    assert np.array_equal(a.slack, b.slack), name
+    assert np.array_equal(a.first_alert, b.first_alert), name
+    assert np.array_equal(a.failure, b.failure), name
+    assert a.clock_period == b.clock_period, name
+
+
+def test_fleet_engine_benchmark(benchmark, results_dir):
+    spec = bench_fleet_spec()
+    records: dict[str, dict] = {}
+
+    def run_all():
+        for name in QUICK_CIRCUITS:
+            circuit = suite_circuit(name)
+            vec_s = bench_fleet_seconds(circuit, repeats=1)
+            # Golden 64-device slice: parity pin + scalar extrapolation.
+            pop = sample_population(circuit, spec, _QUICK_SLICE)
+            vec_slice = simulate_fleet_vectorized(circuit, spec, pop)
+            t0 = time.perf_counter()
+            ref_slice = simulate_fleet_reference(circuit, spec, pop)
+            ref_slice_s = time.perf_counter() - t0
+            _assert_identical(name, vec_slice, ref_slice)
+            ref_est = ref_slice_s * (BENCH_FLEET_DEVICES / _QUICK_SLICE)
+            prev = records.get(name)
+            if prev is not None and prev["total_s"] <= vec_s:
+                prev["reference_est_s"] = min(prev["reference_est_s"],
+                                              round(ref_est, 3))
+                continue
+            records[name] = {
+                "gates": len(circuit.gates),
+                "ffs": sum(1 for g in circuit.gates
+                           if g.kind == GateKind.DFF),
+                "devices": BENCH_FLEET_DEVICES,
+                "checkpoints": len(spec.checkpoints),
+                "total_s": round(vec_s, 4),
+                "reference_slice_devices": _QUICK_SLICE,
+                "reference_est_s": round(ref_est, 3),
+            }
+            if prev is not None:
+                records[name]["reference_est_s"] = min(
+                    prev["reference_est_s"],
+                    records[name]["reference_est_s"])
+        return records
+
+    benchmark.pedantic(run_all, rounds=2, iterations=1)
+
+    vec_total = sum(r["total_s"] for r in records.values())
+    ref_total = sum(r["reference_est_s"] for r in records.values())
+    assert vec_total < ref_total, (vec_total, ref_total)
+
+    payload = {
+        "profile": _PROFILE,
+        "engine": "vectorized",
+        "devices": BENCH_FLEET_DEVICES,
+        "scenario": spec.fingerprint(),
+        "circuits": records,
+        "totals": {
+            "vectorized_s": round(vec_total, 4),
+            "reference_est_s": round(ref_total, 3),
+            "speedup_vs_reference": round(ref_total / vec_total, 2),
+        },
+    }
+    if BENCH_FLEET_FILE.exists():
+        previous = json.loads(BENCH_FLEET_FILE.read_text())
+        if "large_fleet" in previous:
+            payload["large_fleet"] = previous["large_fleet"]
+    BENCH_FLEET_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [f"{'circuit':>10} {'gates':>6} {'devices':>8} "
+             f"{'vec [s]':>8} {'ref est [s]':>11}"]
+    for name, r in records.items():
+        lines.append(f"{name:>10} {r['gates']:>6} {r['devices']:>8} "
+                     f"{r['total_s']:>8.3f} {r['reference_est_s']:>11.3f}")
+    lines.append(f"{'total':>10} {'':>6} {'':>8} "
+                 f"{vec_total:>8.3f} {ref_total:>11.3f}")
+    text = "\n".join(lines)
+    write_artifact(results_dir, "bench_fleet.txt", text)
+    print("\n" + text)
+
+
+def test_fleet_large_population_benchmark(benchmark, results_dir):
+    """The headline 10^5-device profile (tractable only vectorized).
+
+    The scalar loop would need tens of minutes at this scale; it is
+    measured on a parity-checked thin slice and extrapolated linearly.
+    """
+    spec = bench_fleet_spec()
+    circuit = suite_circuit(_LARGE_CIRCUIT)
+    population = sample_population(circuit, spec, _LARGE_DEVICES)
+    measured: dict[str, float] = {}
+
+    def run_vectorized():
+        t0 = time.perf_counter()
+        simulate_fleet_vectorized(circuit, spec, population)
+        vec_s = time.perf_counter() - t0
+        measured["vectorized_s"] = min(vec_s,
+                                       measured.get("vectorized_s", vec_s))
+        return measured
+
+    benchmark.pedantic(run_vectorized, rounds=1, iterations=1)
+
+    slice_pop = sample_population(circuit, spec, _LARGE_SLICE)
+    vec_slice = simulate_fleet_vectorized(circuit, spec, slice_pop)
+    t0 = time.perf_counter()
+    ref_slice = simulate_fleet_reference(circuit, spec, slice_pop)
+    ref_slice_s = time.perf_counter() - t0
+    _assert_identical(f"{_LARGE_CIRCUIT}-slice", vec_slice, ref_slice)
+    ref_est = ref_slice_s * (_LARGE_DEVICES / _LARGE_SLICE)
+
+    vec_s = measured["vectorized_s"]
+    speedup = ref_est / vec_s
+    assert speedup >= _LARGE_MIN_SPEEDUP, (
+        f"10^5-device profile no longer shows the vectorized engine "
+        f">={_LARGE_MIN_SPEEDUP:.0f}x over the scalar loop: vectorized "
+        f"{vec_s:.2f}s, reference est {ref_est:.1f}s")
+
+    entry = {
+        "name": _LARGE_CIRCUIT,
+        "gates": len(circuit.gates),
+        "devices": _LARGE_DEVICES,
+        "checkpoints": len(spec.checkpoints),
+        "vectorized_s": round(vec_s, 3),
+        "reference_est_s": round(ref_est, 1),
+        "reference_slice_devices": _LARGE_SLICE,
+        "speedup_vs_reference": round(speedup, 1),
+    }
+    if BENCH_FLEET_FILE.exists():
+        payload = json.loads(BENCH_FLEET_FILE.read_text())
+        payload["large_fleet"] = entry
+        BENCH_FLEET_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+    text = "\n".join(f"{k:>24}: {v}" for k, v in entry.items())
+    write_artifact(results_dir, "bench_fleet_large.txt", text)
+    print("\n" + text)

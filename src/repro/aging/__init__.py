@@ -8,7 +8,29 @@ monitors, and the failure predictor that turns monitor alerts into
 remaining-margin estimates.
 """
 
-from repro.aging.degradation import AgingScenario, BtiModel, EmModel, HciModel
+from repro.aging.api import (
+    DegradationModel,
+    ScalarModelAdapter,
+    as_degradation_model,
+    combined_delay_factors,
+)
+from repro.aging.core import active_models, aged_circuit, sample_workload
+from repro.aging.degradation import (
+    AgingScenario,
+    BtiModel,
+    EmModel,
+    HciModel,
+    aged_copy,
+)
+from repro.aging.fleet import (
+    FleetPopulation,
+    FleetResult,
+    sample_population,
+    simulate_fleet,
+    simulate_fleet_reference,
+    simulate_fleet_vectorized,
+)
+from repro.aging.hazard import WeibullHazard, WeibullMixture
 from repro.aging.lifetime import LifetimeResult, LifetimeSimulator
 from repro.aging.marginal import MarginalDeviceModel, inject_marginal_defects
 from repro.aging.mitigation import (
@@ -16,9 +38,23 @@ from repro.aging.mitigation import (
     AdaptiveLifetimeSimulator,
     MitigationPolicy,
 )
-from repro.aging.prediction import FailurePredictor, PredictionReport
+from repro.aging.prediction import (
+    FailurePredictor,
+    FleetPredictions,
+    PredictionReport,
+    predict_fleet,
+)
+from repro.aging.scenario import ScenarioSpec, VariationSpec
 
 __all__ = [
+    "DegradationModel",
+    "ScalarModelAdapter",
+    "as_degradation_model",
+    "combined_delay_factors",
+    "active_models",
+    "aged_circuit",
+    "aged_copy",
+    "sample_workload",
     "AgingScenario",
     "BtiModel",
     "HciModel",
@@ -32,4 +68,16 @@ __all__ = [
     "MitigationPolicy",
     "FailurePredictor",
     "PredictionReport",
+    "FleetPopulation",
+    "FleetResult",
+    "FleetPredictions",
+    "ScenarioSpec",
+    "VariationSpec",
+    "WeibullHazard",
+    "WeibullMixture",
+    "sample_population",
+    "simulate_fleet",
+    "simulate_fleet_reference",
+    "simulate_fleet_vectorized",
+    "predict_fleet",
 ]

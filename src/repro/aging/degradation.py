@@ -11,8 +11,13 @@ Compact models in the style of [1] (Li/Qin/Bernstein, TDMR 2008):
   load-delay increase that accelerates after an onset time.
 
 An :class:`AgingScenario` combines the mechanisms with deterministic per-gate
-stress/activity factors and produces the multiplicative delay factor for any
-gate at any lifetime point — which :meth:`Circuit.scale_gate_delays` applies.
+stress/activity factors and implements the vectorized
+:class:`~repro.aging.api.DegradationModel` contract: ``delay_factors``
+returns one multiplicative factor per gate as an ndarray, which
+:meth:`Circuit.scale_gate_delays` applies directly.  The scalar
+``delay_factor(gate, t)`` surface survives both as the reference twin the
+vectorized path is pinned against and as the subclass seam (workload-driven
+scenarios override the per-gate draws).
 
 Times are in arbitrary *lifetime units* (years in the examples); the models
 are monotone and dimensionless, which is all the prediction flow requires.
@@ -22,6 +27,8 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.netlist.circuit import Circuit, GateKind
 
@@ -38,6 +45,14 @@ class BtiModel:
             return 0.0
         return self.amplitude * (stress * t) ** self.exponent
 
+    def delta_fractions(self, t: float, stress: np.ndarray) -> np.ndarray:
+        """Vectorized twin of :meth:`delta_fraction` over a stress array."""
+        if t <= 0.0:
+            return np.zeros_like(stress)
+        return np.where(stress > 0.0,
+                        self.amplitude * np.power(stress * t, self.exponent),
+                        0.0)
+
 
 @dataclass(frozen=True)
 class HciModel:
@@ -51,6 +66,13 @@ class HciModel:
             return 0.0
         return self.amplitude * (activity * t) ** self.exponent
 
+    def delta_fractions(self, t: float, activity: np.ndarray) -> np.ndarray:
+        if t <= 0.0:
+            return np.zeros_like(activity)
+        return np.where(activity > 0.0,
+                        self.amplitude * np.power(activity * t, self.exponent),
+                        0.0)
+
 
 @dataclass(frozen=True)
 class EmModel:
@@ -63,6 +85,13 @@ class EmModel:
         if t <= self.onset or current_factor <= 0.0:
             return 0.0
         return self.rate * current_factor * (t - self.onset)
+
+    def delta_fractions(self, t: float, current: np.ndarray) -> np.ndarray:
+        if t <= self.onset:
+            return np.zeros_like(current)
+        return np.where(current > 0.0,
+                        self.rate * current * (t - self.onset),
+                        0.0)
 
 
 @dataclass
@@ -92,6 +121,24 @@ class AgingScenario:
             self._factors[gate] = (draw(), draw(), draw())
         return self._factors[gate]
 
+    def gate_factor_arrays(self, circuit: Circuit,
+                           ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-gate ``(stress, activity, current)`` arrays for a circuit.
+
+        Entries of sequential/source gates are zero, so every degradation
+        law yields a delta of exactly ``0.0`` (factor ``1.0``) there.  The
+        draws route through :meth:`_gate_factors` — the seam subclasses
+        (e.g. workload-driven scenarios) override.
+        """
+        n = len(circuit.gates)
+        stress = np.zeros(n)
+        activity = np.zeros(n)
+        current = np.zeros(n)
+        for gate in circuit.combinational_gates():
+            stress[gate], activity[gate], current[gate] = \
+                self._gate_factors(gate)
+        return stress, activity, current
+
     def delay_factor(self, gate: int, t: float) -> float:
         """Multiplicative delay factor of ``gate`` at lifetime ``t`` (>= 1)."""
         stress, activity, current = self._gate_factors(gate)
@@ -100,26 +147,29 @@ class AgingScenario:
                 + self.hci.delta_fraction(t, activity)
                 + self.em.delta_fraction(t, current))
 
-    def delay_factors(self, circuit: Circuit, t: float) -> dict[int, float]:
-        """Factors for every combinational gate of a circuit at time ``t``."""
-        return {
-            g.index: self.delay_factor(g.index, t)
-            for g in circuit.gates
-            if GateKind.is_combinational(g.kind)
-        }
+    def delay_factors(self, circuit: Circuit, t: float, *,
+                      rng: np.random.Generator | None = None) -> np.ndarray:
+        """Vectorized per-gate factors (the DegradationModel contract).
+
+        Bit-identical to evaluating :meth:`delay_factor` gate by gate: the
+        per-gate draws are shared and both paths reduce to the same IEEE
+        double operations in the same order.
+        """
+        stress, activity, current = self.gate_factor_arrays(circuit)
+        return (1.0
+                + self.bti.delta_fractions(t, stress)
+                + self.hci.delta_fractions(t, activity)
+                + self.em.delta_fractions(t, current))
 
 
-def aged_copy(circuit: Circuit, scenario: AgingScenario, t: float,
+def aged_copy(circuit: Circuit, model, t: float,
               *, name_suffix: str | None = None) -> Circuit:
     """Deep-copied circuit with delays degraded to lifetime point ``t``.
 
-    The original circuit is left untouched; the copy shares no mutable
-    timing state.
+    ``model`` is anything satisfying (or adaptable to) the
+    :class:`~repro.aging.api.DegradationModel` protocol.  The original
+    circuit is left untouched; the copy shares no mutable timing state.
     """
-    import copy
+    from repro.aging.core import aged_circuit
 
-    aged = copy.deepcopy(circuit)
-    if name_suffix is not None:
-        aged.name = f"{circuit.name}{name_suffix}"
-    aged.scale_gate_delays(scenario.delay_factors(aged, t))
-    return aged
+    return aged_circuit(circuit, (model,), t, name_suffix=name_suffix)

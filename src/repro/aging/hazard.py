@@ -1,0 +1,129 @@
+"""Weibull hazard models for fleet lifetime sampling.
+
+Device reliability follows the classic bathtub curve: an *infant mortality*
+population with a decreasing hazard rate (Weibull shape < 1 — latent
+defects magnify and kill marginal devices early, Sec. I of the paper and
+[2]) superposed on a *wear-out* population with an increasing hazard rate
+(shape > 1 — BTI/HCI/EM degradation).  :class:`WeibullMixture` models the
+superposition; sampling it assigns every simulated device both a lifetime
+draw and the component (infant vs wear-out) that produced it, which the
+fleet engine maps onto its degradation parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WeibullHazard:
+    """Two-parameter Weibull distribution ``F(t) = 1 - exp(-(t/scale)^shape)``.
+
+    ``shape < 1`` gives a decreasing hazard rate (infant mortality),
+    ``shape > 1`` an increasing one (wear-out), ``shape == 1`` is the
+    memoryless exponential.
+    """
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0.0:
+            raise ValueError("Weibull shape must be positive")
+        if self.scale <= 0.0:
+            raise ValueError("Weibull scale must be positive")
+
+    def cdf(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Failure probability by time ``t``."""
+        t = np.asarray(t, dtype=float)
+        out = -np.expm1(-np.power(np.maximum(t, 0.0) / self.scale,
+                                  self.shape))
+        return float(out) if out.ndim == 0 else out
+
+    def quantile(self, u: float | np.ndarray) -> float | np.ndarray:
+        """Inverse CDF: the lifetime whose failure probability is ``u``."""
+        u = np.asarray(u, dtype=float)
+        out = self.scale * np.power(-np.log1p(-u), 1.0 / self.shape)
+        return float(out) if out.ndim == 0 else out
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` inverse-CDF lifetime draws."""
+        return self.quantile(rng.random(size))
+
+    def hazard_rate(self, t: float) -> float:
+        """Instantaneous hazard ``h(t) = (shape/scale) * (t/scale)^(shape-1)``."""
+        if t <= 0.0:
+            return math.inf if self.shape < 1.0 else (
+                0.0 if self.shape > 1.0 else 1.0 / self.scale)
+        return (self.shape / self.scale) * (t / self.scale) ** (self.shape - 1.0)
+
+
+@dataclass(frozen=True)
+class WeibullMixture:
+    """Weighted superposition of Weibull components (the bathtub curve).
+
+    ``components[i]`` occurs with probability ``weights[i]``; by convention
+    component 0 is the infant-mortality mode (shape < 1) and the last
+    component is wear-out (shape > 1), but any mixture is accepted.
+    """
+
+    components: tuple[WeibullHazard, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.components) != len(self.weights):
+            raise ValueError("one weight per mixture component required")
+        if not self.components:
+            raise ValueError("mixture needs at least one component")
+        if any(w < 0.0 for w in self.weights):
+            raise ValueError("mixture weights must be non-negative")
+        total = sum(self.weights)
+        if not math.isclose(total, 1.0, rel_tol=1e-9):
+            raise ValueError(f"mixture weights must sum to 1 (got {total})")
+
+    @classmethod
+    def bathtub(cls, *, infant_weight: float = 0.08,
+                infant: WeibullHazard | None = None,
+                wearout: WeibullHazard | None = None) -> "WeibullMixture":
+        """The default early-life + wear-out superposition."""
+        infant = infant or WeibullHazard(shape=0.55, scale=6.0)
+        wearout = wearout or WeibullHazard(shape=4.0, scale=12.0)
+        return cls(components=(infant, wearout),
+                   weights=(infant_weight, 1.0 - infant_weight))
+
+    @property
+    def infant(self) -> WeibullHazard:
+        return self.components[0]
+
+    @property
+    def wearout(self) -> WeibullHazard:
+        return self.components[-1]
+
+    def cdf(self, t: float | np.ndarray) -> float | np.ndarray:
+        """Mixture failure probability ``F(t) = sum_i w_i F_i(t)``."""
+        t = np.asarray(t, dtype=float)
+        out = np.zeros_like(t, dtype=float)
+        for w, comp in zip(self.weights, self.components):
+            out = out + w * comp.cdf(t)
+        return float(out) if out.ndim == 0 else out
+
+    def sample(self, rng: np.random.Generator,
+               size: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(lifetimes, component_index)`` for ``size`` devices.
+
+        Component choice and the per-device inverse-CDF uniform are drawn in
+        a fixed order so the sample is fully determined by the generator
+        state — the property the fleet-engine parity pinning relies on.
+        """
+        comp = rng.choice(len(self.components), size=size,
+                          p=np.asarray(self.weights))
+        u = rng.random(size)
+        times = np.empty(size, dtype=float)
+        for i, c in enumerate(self.components):
+            mask = comp == i
+            if np.any(mask):
+                times[mask] = c.quantile(u[mask])
+        return times, comp

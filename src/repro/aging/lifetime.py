@@ -11,10 +11,9 @@ bands as degradation progresses).
 
 from __future__ import annotations
 
-import copy
-import random
 from dataclasses import dataclass, field
 
+from repro.aging.core import active_models, aged_circuit, sample_workload
 from repro.aging.degradation import AgingScenario
 from repro.aging.marginal import MarginalDeviceModel
 from repro.monitors.insertion import MonitorPlacement
@@ -83,8 +82,7 @@ class LifetimeSimulator:
         workload_patterns: int = 8,
         seed: int = 0,
     ) -> None:
-        if scenario is None and marginal is None:
-            raise ValueError("need an aging scenario, a marginal model or both")
+        self.models = active_models(scenario, marginal)
         self.circuit = circuit
         self.clock = clock
         self.placement = placement
@@ -95,24 +93,11 @@ class LifetimeSimulator:
 
     def _workload(self) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
         """Deterministic sample of functional launch/capture vectors."""
-        rng = random.Random(self.seed)
-        width = len(self.circuit.sources())
-        return [
-            (tuple(rng.randint(0, 1) for _ in range(width)),
-             tuple(rng.randint(0, 1) for _ in range(width)))
-            for _ in range(self.workload_patterns)
-        ]
+        return sample_workload(self.circuit, self.workload_patterns,
+                               self.seed)
 
     def _aged_circuit(self, t: float) -> Circuit:
-        aged = copy.deepcopy(self.circuit)
-        factors: dict[int, float] = {}
-        if self.scenario is not None:
-            factors.update(self.scenario.delay_factors(aged, t))
-        if self.marginal is not None:
-            for gate, f in self.marginal.delay_factors(aged, t).items():
-                factors[gate] = factors.get(gate, 1.0) * f
-        aged.scale_gate_delays(factors)
-        return aged
+        return aged_circuit(self.circuit, self.models, t)
 
     def run(self, times: list[float]) -> LifetimeResult:
         """Evaluate the device at each (ascending) lifetime point."""

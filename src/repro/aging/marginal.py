@@ -18,6 +18,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.netlist.circuit import Circuit, GateKind
 from repro.timing.variation import fault_size_for_gate
 
@@ -39,9 +41,14 @@ class MarginalDeviceModel:
             return delta0
         return delta0 * (1.0 + self.growth * t ** self.accel)
 
-    def delay_factors(self, circuit: Circuit, t: float) -> dict[int, float]:
-        """Multiplicative factors equivalent to the extra delays at ``t``."""
-        out: dict[int, float] = {}
+    def delay_factors(self, circuit: Circuit, t: float, *,
+                      rng: np.random.Generator | None = None) -> np.ndarray:
+        """Multiplicative factors equivalent to the extra delays at ``t``.
+
+        The :class:`~repro.aging.api.DegradationModel` contract: one factor
+        per gate, ``1.0`` everywhere except the weak gates.
+        """
+        out = np.ones(len(circuit.gates))
         for gate, _delta0 in self.weak_gates.items():
             g = circuit.gates[gate]
             base = g.max_delay()

@@ -16,9 +16,9 @@ on top of the lifetime simulator:
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 
+from repro.aging.core import active_models, aged_circuit, sample_workload
 from repro.aging.degradation import AgingScenario
 from repro.aging.marginal import MarginalDeviceModel
 from repro.monitors.insertion import MonitorPlacement
@@ -26,7 +26,6 @@ from repro.netlist.circuit import Circuit
 from repro.simulation.wave_sim import WaveformSimulator
 from repro.timing.clock import ClockSpec
 from repro.timing.sta import run_sta
-import random
 
 
 @dataclass(frozen=True)
@@ -106,6 +105,7 @@ class AdaptiveLifetimeSimulator:
                  marginal: MarginalDeviceModel | None = None,
                  policy: MitigationPolicy | None = None,
                  workload_patterns: int = 8, seed: int = 0) -> None:
+        self.models = active_models(scenario, marginal)
         self.circuit = circuit
         self.clock = clock
         self.placement = placement
@@ -116,23 +116,11 @@ class AdaptiveLifetimeSimulator:
         self.seed = seed
 
     def _workload(self):
-        rng = random.Random(self.seed)
-        width = len(self.circuit.sources())
-        return [
-            (tuple(rng.randint(0, 1) for _ in range(width)),
-             tuple(rng.randint(0, 1) for _ in range(width)))
-            for _ in range(self.workload_patterns)
-        ]
+        return sample_workload(self.circuit, self.workload_patterns,
+                               self.seed)
 
     def _aged(self, effective_t: float) -> Circuit:
-        aged = copy.deepcopy(self.circuit)
-        factors = dict(self.scenario.delay_factors(aged, effective_t))
-        if self.marginal is not None:
-            for gate, f in self.marginal.delay_factors(
-                    aged, effective_t).items():
-                factors[gate] = factors.get(gate, 1.0) * f
-        aged.scale_gate_delays(factors)
-        return aged
+        return aged_circuit(self.circuit, self.models, effective_t)
 
     def run(self, times: list[float]) -> AdaptiveLifetimeResult:
         if sorted(times) != list(times):

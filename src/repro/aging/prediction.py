@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.aging.lifetime import LifetimeResult
 
 
@@ -124,6 +126,123 @@ class FailurePredictor:
         if slope >= 0.0:
             return None
         return -intercept / slope
+
+
+@dataclass
+class FleetPredictions:
+    """Batch failure prediction over a fleet (arrays indexed by device).
+
+    All time arrays hold NaN where the quantity is undefined (no alert, no
+    failure, no finite prediction).
+    """
+
+    devices: int
+    first_warning: np.ndarray
+    predicted_failure: np.ndarray
+    actual_failure: np.ndarray
+
+    @property
+    def lead_time(self) -> np.ndarray:
+        """Warning margin per device (NaN unless both times exist)."""
+        return self.actual_failure - self.first_warning
+
+    @property
+    def prediction_error(self) -> np.ndarray:
+        return self.predicted_failure - self.actual_failure
+
+    def metrics(self, *, rel_tol: float = 0.5) -> dict[str, float]:
+        """Fleet-level outcome counters and rates.
+
+        A failing device is *detected* when its first warning strictly
+        precedes the failure; a prediction is *bad* when it is missing or
+        off by more than ``rel_tol`` relative to the actual failure time.
+        ``mispredict_rate`` = (missed + badly-predicted) / failed.
+        """
+        failed = ~np.isnan(self.actual_failure)
+        warned = ~np.isnan(self.first_warning)
+        detected = failed & warned & (self.first_warning
+                                      < self.actual_failure)
+        missed = failed & ~detected
+        false_alarm = warned & ~failed
+        with np.errstate(invalid="ignore", divide="ignore"):
+            rel_err = np.abs(self.prediction_error) / self.actual_failure
+        bad_prediction = failed & detected & (
+            np.isnan(self.predicted_failure) | (rel_err > rel_tol))
+        n_failed = int(np.count_nonzero(failed))
+        lead = self.lead_time[detected]
+        return {
+            "devices": self.devices,
+            "failed": n_failed,
+            "warned": int(np.count_nonzero(warned)),
+            "detected": int(np.count_nonzero(detected)),
+            "missed": int(np.count_nonzero(missed)),
+            "false_alarms": int(np.count_nonzero(false_alarm)),
+            "bad_predictions": int(np.count_nonzero(bad_prediction)),
+            "detection_rate": (int(np.count_nonzero(detected)) / n_failed
+                               if n_failed else 1.0),
+            "mispredict_rate": (
+                (int(np.count_nonzero(missed))
+                 + int(np.count_nonzero(bad_prediction))) / n_failed
+                if n_failed else 0.0),
+            "mean_lead_time": float(np.mean(lead)) if lead.size else None,
+            "median_lead_time": (float(np.median(lead))
+                                 if lead.size else None),
+        }
+
+
+def predict_fleet(result, predictor: FailurePredictor | None = None,
+                  ) -> FleetPredictions:
+    """Vectorized :class:`FailurePredictor` over a fleet result.
+
+    ``result`` is a :class:`repro.aging.fleet.FleetResult`.  The guard-band
+    staircase fit runs as config-axis array sums (config order, fixed),
+    with the slack-series fallback where too few crossings exist — the
+    same two-stage scheme as the scalar :meth:`FailurePredictor.predict`.
+    """
+    predictor = predictor or FailurePredictor()
+    alert_t = result.first_alert_times()          # (C, D)
+    delays = np.asarray(result.config_delays)[:, None]
+    mask = ~np.isnan(alert_t)
+    t = np.where(mask, alert_t, 0.0)
+    y = np.where(mask, np.broadcast_to(delays, alert_t.shape), 0.0)
+    predicted = _masked_lsq_root(t, y, mask, axis=0,
+                                 min_points=predictor.min_points)
+    if predictor.use_slack_fallback:
+        slack = result.slack                      # (D, T)
+        smask = slack > 0.0
+        st = np.where(smask, result.times[None, :], 0.0)
+        sy = np.where(smask, slack, 0.0)
+        fallback = _masked_lsq_root(st, sy, smask, axis=1, min_points=2)
+        predicted = np.where(np.isnan(predicted), fallback, predicted)
+    first_warning = result.first_warning_times()
+    return FleetPredictions(
+        devices=result.devices,
+        first_warning=first_warning,
+        predicted_failure=predicted,
+        actual_failure=result.failure_times(),
+    )
+
+
+def _masked_lsq_root(t: np.ndarray, y: np.ndarray, mask: np.ndarray,
+                     *, axis: int, min_points: int) -> np.ndarray:
+    """Per-device root of a masked least-squares line fit (NaN when none).
+
+    Mirrors :func:`_least_squares` + the ``slope < 0`` guard: devices with
+    fewer than ``min_points`` samples, a degenerate denominator or a
+    non-shrinking margin get NaN.
+    """
+    n = mask.sum(axis=axis).astype(float)
+    sx = t.sum(axis=axis)
+    sy = y.sum(axis=axis)
+    sxx = (t * t).sum(axis=axis)
+    sxy = (t * y).sum(axis=axis)
+    denom = n * sxx - sx * sx
+    with np.errstate(invalid="ignore", divide="ignore"):
+        slope = np.where(np.abs(denom) < 1e-12, 0.0,
+                         (n * sxy - sx * sy) / denom)
+        intercept = np.where(n > 0, (sy - slope * sx) / n, np.nan)
+        root = np.where(slope < 0.0, -intercept / slope, np.nan)
+    return np.where(n >= min_points, root, np.nan)
 
 
 def _least_squares(points: list[tuple[float, float]]) -> tuple[float, float]:

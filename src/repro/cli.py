@@ -7,7 +7,10 @@ Subcommands:
 * ``tables``  — regenerate Table I/II/III over the (scaled) paper suite.
 * ``fig3``    — print the HDF-coverage-vs-f_max sweep for one circuit.
 * ``aging``   — lifetime simulation with monitor alerts and failure
-  prediction for a circuit.
+  prediction for a circuit (optionally driven by a ``--scenario`` JSON
+  spec).
+* ``fleet``   — fleet-scale Monte Carlo aging study over a device
+  population (same scenario schema, ``--devices``/``--jobs``).
 * ``generate``— emit a synthetic benchmark circuit as ``.bench``.
 * ``bench``   — re-measure the perf-baseline workloads and print current
   vs committed (``BENCH_detection.json`` / ``BENCH_schedule.json`` /
@@ -178,18 +181,27 @@ def cmd_aging(args: argparse.Namespace) -> int:
     from repro.timing import ClockSpec, run_sta
 
     circuit = _load_circuit(args.circuit)
+    spec = None
+    if args.scenario:
+        from repro.aging.scenario import ScenarioSpec
+
+        spec = ScenarioSpec.load(args.scenario)
     sta = run_sta(circuit)
-    clock = ClockSpec(args.margin * sta.critical_path)
+    margin = spec.clock_margin if spec is not None else args.margin
+    clock = ClockSpec(margin * sta.critical_path)
     configs = MonitorConfigSet.paper_default(clock.t_nom)
     placement = insert_monitors(circuit, sta, configs,
                                 fraction=args.monitor_fraction)
     marginal = (inject_marginal_defects(circuit, count=args.marginal,
                                         seed=args.seed)
                 if args.marginal else None)
+    scenario = (spec.aging_scenario() if spec is not None
+                else AgingScenario(seed=args.seed))
     sim = LifetimeSimulator(circuit, clock, placement,
-                            scenario=AgingScenario(seed=args.seed),
+                            scenario=scenario,
                             marginal=marginal, seed=args.seed)
-    times = [0.25 * 2 ** k for k in range(args.steps)]
+    times = (list(spec.checkpoints) if spec is not None
+             else [0.25 * 2 ** k for k in range(args.steps)])
     result = sim.run(times)
     for p in result.points:
         alerting = [f"d{ci}" for ci, hit in p.alerts.items() if hit]
@@ -197,6 +209,49 @@ def cmd_aging(args: argparse.Namespace) -> int:
               f"slack={p.slack:8.1f} ps  alerts={','.join(alerting) or '-'}"
               f"{'  FAILED' if p.failed else ''}")
     print("prediction:", FailurePredictor().predict(result).summary())
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.aging.scenario import ScenarioSpec
+    from repro.experiments.fleet import run_fleet_study
+    from repro.experiments.reporting import format_table
+
+    circuit = _load_circuit(args.circuit)
+    spec = (ScenarioSpec.load(args.scenario) if args.scenario
+            else ScenarioSpec())
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    study = run_fleet_study(circuit, spec=spec, devices=args.devices,
+                            engine=args.engine, jobs=args.jobs,
+                            use_cache=False if args.no_cache else None)
+    summary = study.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    m = summary["metrics"]
+    print(f"fleet: {study.circuit}  devices={study.devices}  "
+          f"engine={study.engine}  scenario={spec.fingerprint()}")
+    print(f"failed={m['failed']}  detected={m['detected']}  "
+          f"missed={m['missed']}  false_alarms={m['false_alarms']}  "
+          f"infant={summary['distributions']['infant_devices']}")
+    print(f"detection_rate={m['detection_rate']:.3f}  "
+          f"mispredict_rate={m['mispredict_rate']:.3f}  "
+          f"mean_lead_time={m['mean_lead_time']:.3f}")
+    rows = [
+        {"quantity": name, "count": stats["count"],
+         "mean": round(stats["mean"], 3), "p5": round(stats["p5"], 3),
+         "p50": round(stats["p50"], 3), "p95": round(stats["p95"], 3)}
+        for name, stats in summary["distributions"].items()
+        if isinstance(stats, dict)
+    ]
+    print(format_table(rows, title="Fleet distributions (lifetime units)"))
+    secs = summary["stage_seconds"]
+    if secs:
+        print("stages:", "  ".join(f"{k}={v:.3f}s"
+                                   for k, v in secs.items()))
     return 0
 
 
@@ -275,6 +330,17 @@ def _bench_atpg_current(res) -> float:
     return best
 
 
+def _bench_fleet_current(name: str) -> float:
+    """Re-time the committed fleet workload for one circuit name.
+
+    Unlike the other bench stages this does not need flow results — the
+    fleet workload is the ``sta -> aging`` pipeline itself, uncached.
+    """
+    from repro.experiments.fleet import bench_fleet_seconds
+
+    return bench_fleet_seconds(_load_circuit(name))
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -286,6 +352,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "detection": (root / "BENCH_detection.json", _bench_detection_current),
         "schedule": (root / "BENCH_schedule.json", _bench_schedule_current),
         "atpg": (root / "BENCH_atpg.json", _bench_atpg_current),
+        "fleet": (root / "BENCH_fleet.json", _bench_fleet_current),
     }
     # The detection workload is the engine registry's "simulation" stage;
     # accept either spelling.
@@ -330,13 +397,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
                   f"{baseline.get('profile')!r}, not 'quick'; deltas are "
                   f"not comparable", file=sys.stderr)
         names = tuple(baseline["circuits"])
-        results = run_suite(SuiteRunConfig.quick(names=names,
-                                                 with_schedules=False))
-        _tally(results)
+        if stage != "fleet":
+            # The fleet workload is a standalone pipeline; every other
+            # stage re-measures against the suite's cached flow results.
+            results = run_suite(SuiteRunConfig.quick(names=names,
+                                                     with_schedules=False))
+            _tally(results)
         committed_total = current_total = 0.0
         for name in names:
             committed = baseline["circuits"][name]["total_s"]
-            if stage == "detection":
+            if stage == "fleet":
+                current = measure(name)
+            elif stage == "detection":
                 engines = _bench_detection_engines(results[name])
                 current = engines["wordwave"]
                 engine_rows.append({
@@ -439,6 +511,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_aging = sub.add_parser("aging", help="lifetime simulation + prediction")
     p_aging.add_argument("circuit")
+    p_aging.add_argument("--scenario", metavar="FILE.json", default=None,
+                         help="ScenarioSpec JSON file; overrides --margin "
+                              "and --steps (degradation laws, clock margin "
+                              "and checkpoints come from the spec)")
     p_aging.add_argument("--monitor-fraction", type=float, default=1.0)
     p_aging.add_argument("--marginal", type=int, default=0,
                          help="number of weak gates to inject")
@@ -447,6 +523,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_aging.add_argument("--steps", type=int, default=9)
     p_aging.add_argument("--seed", type=int, default=1)
     p_aging.set_defaults(func=cmd_aging)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="fleet-scale Monte Carlo aging study")
+    p_fleet.add_argument("circuit")
+    p_fleet.add_argument("--scenario", metavar="FILE.json", default=None,
+                         help="ScenarioSpec JSON file (same schema as "
+                              "'repro aging --scenario'; defaults used "
+                              "when omitted)")
+    p_fleet.add_argument("--devices", type=int, default=1024,
+                         help="population size (default 1024)")
+    p_fleet.add_argument("--jobs", type=int, default=1,
+                         help="worker processes sharding the population "
+                              "(results are bit-identical to --jobs 1)")
+    p_fleet.add_argument("--engine", default=None,
+                         choices=("reference", "vectorized"),
+                         help="fleet engine (default: registry default)")
+    p_fleet.add_argument("--seed", type=int, default=None,
+                         help="override the scenario's population seed")
+    p_fleet.add_argument("--json", action="store_true",
+                         help="print the full study summary as JSON")
+    p_fleet.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk stage cache for this run")
+    p_fleet.set_defaults(func=cmd_fleet)
 
     p_gen = sub.add_parser("generate", help="emit a synthetic .bench circuit")
     p_gen.add_argument("output")
@@ -463,8 +562,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--stage", default="all",
                          help="bench workload to re-measure: all, detection "
                               "(alias: simulation, adds the per-engine "
-                              "delta table), schedule or atpg (unknown "
-                              "names are rejected with the registered list)")
+                              "delta table), schedule, atpg or fleet "
+                              "(unknown names are rejected with the "
+                              "registered list)")
     p_bench.add_argument("--root", type=Path, default=None,
                          help="directory holding the BENCH_*.json baselines "
                               "(default: the repo root)")

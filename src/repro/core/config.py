@@ -7,6 +7,15 @@ from dataclasses import InitVar, dataclass, field
 
 from repro.core.engines import ENGINES
 from repro.monitors.insertion import DEFAULT_COVERAGE_FRACTION
+
+#: Legacy engine keywords that have already warned once this process
+#: (``FlowConfig`` shims warn per attribute, not per construction).
+_WARNED_SHIMS: set[str] = set()
+
+
+def reset_shim_warnings() -> None:
+    """Re-arm the warn-once deprecation shims (test isolation hook)."""
+    _WARNED_SHIMS.clear()
 from repro.monitors.monitor import PAPER_DELAY_FRACTIONS
 from repro.scheduling.setcover import DEFAULT_TIME_LIMIT_S
 from repro.simulation.wave_sim import DEFAULT_INERTIAL_PS
@@ -92,10 +101,12 @@ class FlowConfig:
                                      "simulation_engine")):
             if legacy is None:
                 continue
-            warnings.warn(
-                f"FlowConfig.{attr} is deprecated; use "
-                f"engines=(({stage!r}, {legacy!r}),) instead",
-                DeprecationWarning, stacklevel=3)
+            if attr not in _WARNED_SHIMS:
+                _WARNED_SHIMS.add(attr)
+                warnings.warn(
+                    f"FlowConfig.{attr} is deprecated; use "
+                    f"engines=(({stage!r}, {legacy!r}),) instead",
+                    DeprecationWarning, stacklevel=3)
             selected.setdefault(stage, legacy)
         resolved = {stage: ENGINES.resolve(stage, name).name
                     for stage, name in selected.items()}

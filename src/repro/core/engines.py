@@ -111,6 +111,15 @@ def _schedule_adapter():
     return run
 
 
+def _fleet_adapter(engine_name: str) -> Callable[..., Any]:
+    def run(circuit, spec, population, **kwargs):
+        from repro.aging.fleet import FLEET_ENGINES
+
+        return FLEET_ENGINES[engine_name](circuit, spec, population,
+                                          **kwargs)
+    return run
+
+
 def _build_default_registry() -> EngineRegistry:
     reg = EngineRegistry()
     reg.register("atpg", "matrix", _atpg_adapter("matrix"), default=True,
@@ -128,6 +137,11 @@ def _build_default_registry() -> EngineRegistry:
                  doc="seed full-cone resweep, bit-identical cross-check")
     reg.register("schedule", "bitset", _schedule_adapter(), default=True,
                  doc="packed-bitset two-step covering pipeline (PR 3)")
+    reg.register("aging", "vectorized", _fleet_adapter("vectorized"),
+                 default=True,
+                 doc="(gates, devices) block-kernel fleet Monte Carlo (PR 7)")
+    reg.register("aging", "reference", _fleet_adapter("reference"),
+                 doc="per-device Python loop, bit-identical semantics pin")
     return reg
 
 

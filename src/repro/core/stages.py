@@ -25,6 +25,9 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.aging.fleet import FleetResult, fleet_setup, sample_population
+from repro.aging.prediction import FleetPredictions, predict_fleet
+from repro.aging.scenario import ScenarioSpec
 from repro.atpg.patterns import TestSet
 from repro.atpg.transition import AtpgResult
 from repro.core.config import FlowConfig
@@ -65,6 +68,13 @@ class StageContext:
     test_set: TestSet | None = None
     with_schedules: bool = True
     with_coverage_schedules: bool = False
+    #: Fleet Monte Carlo inputs (``aging`` stage only): scenario spec and
+    #: population size.  ``None`` spec means the scenario defaults.
+    fleet_spec: "ScenarioSpec | None" = None
+    fleet_devices: int = 256
+    #: Worker processes for the fleet sweep (1 = in-process; sharded runs
+    #: are bit-identical, so this is not part of the cache key).
+    fleet_jobs: int = 1
     #: Fine-grained profiling sink threaded into the stage internals
     #: (``pregrade``/``base_sim``/``random``/``step2``/... keys).
     timer: StageTimer | None = None
@@ -127,6 +137,15 @@ class ScheduleArtifact:
 
     schedules: dict[str, ScheduleResult]
     coverage_schedules: dict[float, ScheduleResult]
+
+
+@dataclass
+class FleetArtifact:
+    """Fleet Monte Carlo: population aging traces plus batch predictions."""
+
+    result: FleetResult
+    predictions: FleetPredictions
+    metrics: dict[str, Any]
 
 
 # ----------------------------------------------------------------------
@@ -327,6 +346,52 @@ class ScheduleStage(Stage):
         out = super().config_key(ctx)
         out["with_schedules"] = ctx.with_schedules
         out["with_coverage_schedules"] = ctx.with_coverage_schedules
+        return out
+
+
+class AgingStage(Stage):
+    """Fleet-scale Monte Carlo lifetime evaluation (not in the Fig. 4 flow).
+
+    Consumes the cached ``sta`` artifact (clock, monitor placement) and
+    runs the configured fleet engine over a sampled device population;
+    keyed by the scenario fingerprint and device count so repeated sweeps
+    over engines or analysis settings replay from the cache.
+    """
+
+    name = "aging"
+    deps = ("sta",)
+    artifact_type = FleetArtifact
+    config_fields = ("monitor_delay_fractions",)
+
+    def run(self, ctx: StageContext, inputs: dict[str, Any]) -> FleetArtifact:
+        timing: TimingArtifact = inputs["sta"]
+        spec = ctx.fleet_spec or ScenarioSpec()
+        ctx.note(f"fleet aging ({ctx.fleet_devices} devices x "
+                 f"{len(spec.checkpoints)} checkpoints)")
+        population = sample_population(ctx.circuit, spec, ctx.fleet_devices)
+        # The fleet operates at the scenario's clock margin (the timing
+        # slack degradation has to eat through); monitor delay elements
+        # scale with that operating period.  Placement reuses the cached
+        # t=0 STA artifact — it only depends on path ranking.
+        period = spec.clock_margin * timing.sta.critical_path
+        configs = MonitorConfigSet(tuple(
+            f * period
+            for f in sorted(ctx.config.monitor_delay_fractions)))
+        setup = fleet_setup(
+            ctx.circuit, spec, clock_period=period,
+            config_delays=tuple(configs),
+            monitored_gates=timing.placement.monitored_gates)
+        result = ctx.engine(self.name).fn(ctx.circuit, spec, population,
+                                          setup=setup, jobs=ctx.fleet_jobs)
+        predictions = predict_fleet(result)
+        return FleetArtifact(result=result, predictions=predictions,
+                             metrics=predictions.metrics())
+
+    def config_key(self, ctx: StageContext) -> dict[str, Any]:
+        out = super().config_key(ctx)
+        spec = ctx.fleet_spec or ScenarioSpec()
+        out["scenario"] = spec.fingerprint()
+        out["devices"] = ctx.fleet_devices
         return out
 
 

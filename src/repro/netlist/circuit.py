@@ -473,9 +473,19 @@ class Circuit:
                 for r, f in (spec.pin_delay(p, fo) for p in range(g.arity))
             )
 
-    def scale_gate_delays(self, factors: dict[int, float]) -> None:
-        """Multiply the delays of selected gates (aging degradation model)."""
-        for idx, factor in factors.items():
+    def scale_gate_delays(self, factors) -> None:
+        """Multiply the delays of selected gates (aging degradation model).
+
+        ``factors`` is either a ``{gate index: factor}`` mapping or a
+        per-gate sequence/array of length ``len(self.gates)`` (the
+        :class:`~repro.aging.api.DegradationModel` contract); unit factors
+        are skipped.
+        """
+        items = (factors.items() if hasattr(factors, "items")
+                 else enumerate(factors))
+        for idx, factor in items:
+            if factor == 1.0:
+                continue
             g = self.gates[idx]
             g.pin_delays = tuple((r * factor, f * factor)
                                  for r, f in g.pin_delays)

@@ -134,3 +134,55 @@ class TestCommands:
                      "--stage", "simulation"]) == 0
         out = capsys.readouterr().out
         assert "wordwave_s" in out
+
+
+class TestFleetCommands:
+    def test_fleet_parser_defaults(self):
+        args = build_parser().parse_args(["fleet", "s27"])
+        assert args.devices == 1024
+        assert args.jobs == 1
+        assert args.engine is None
+        assert args.scenario is None
+
+    def test_fleet_summary(self, capsys):
+        rc = main(["fleet", "s27", "--devices", "64", "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "engine=vectorized" in out
+        assert "detection_rate=" in out
+        assert "Fleet distributions" in out
+        assert "wearout_failure_time" in out
+
+    def test_fleet_json_and_engine(self, capsys):
+        import json
+        rc = main(["fleet", "s27", "--devices", "32", "--json",
+                   "--engine", "reference", "--no-cache"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["engine"] == "reference"
+        assert data["devices"] == 32
+        assert data["metrics"]["devices"] == 32
+
+    def test_fleet_and_aging_share_the_scenario_schema(self, tmp_path,
+                                                       capsys):
+        from repro.aging.scenario import ScenarioSpec
+        path = tmp_path / "spec.json"
+        ScenarioSpec(seed=5, clock_margin=1.2,
+                     checkpoints=(0.5, 1.0, 2.0, 4.0)).save(path)
+        assert main(["aging", "s27", "--scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        # the spec's four checkpoints drive the lifetime sweep
+        assert out.count("t=") == 4
+        assert main(["fleet", "s27", "--scenario", str(path),
+                     "--devices", "32", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert ScenarioSpec.load(path).fingerprint() in out
+
+    def test_fleet_seed_override(self, capsys):
+        import json
+        outs = []
+        for seed in ("1", "2"):
+            assert main(["fleet", "s27", "--devices", "32", "--seed", seed,
+                         "--json", "--no-cache"]) == 0
+            outs.append(json.loads(capsys.readouterr().out))
+        assert outs[0] != outs[1]

@@ -74,7 +74,19 @@ class TestScenario:
     def test_delay_factors_cover_all_gates(self, s27):
         s = AgingScenario(seed=1)
         factors = s.delay_factors(s27, 5.0)
-        assert set(factors) == set(s27.combinational_gates())
+        assert factors.shape == (len(s27.gates),)
+        comb = set(s27.combinational_gates())
+        for g in range(len(s27.gates)):
+            if g in comb:
+                assert factors[g] > 1.0
+            else:
+                assert factors[g] == 1.0
+
+    def test_delay_factors_match_scalar_twin(self, s27):
+        s = AgingScenario(seed=1)
+        factors = s.delay_factors(s27, 5.0)
+        for g in s27.combinational_gates():
+            assert factors[g] == s.delay_factor(g, 5.0)
 
 
 class TestScenarioSpread:

@@ -2,21 +2,34 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
-from repro.core.config import FlowConfig
+from repro.core.config import FlowConfig, reset_shim_warnings
 from repro.core.engines import ENGINES, EngineRegistry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_shim_warnings():
+    """The shims warn once per process; re-arm them per test."""
+    reset_shim_warnings()
+    yield
+    reset_shim_warnings()
 
 
 class TestRegistry:
     def test_default_registry_contents(self):
-        assert ENGINES.stages() == ("atpg", "schedule", "simulation")
+        assert ENGINES.stages() == ("aging", "atpg", "schedule",
+                                    "simulation")
         assert ENGINES.names("atpg") == ("matrix", "reference")
         assert ENGINES.names("simulation") == (
             "incremental", "reference", "wordwave")
+        assert ENGINES.names("aging") == ("reference", "vectorized")
         assert ENGINES.default("atpg") == "matrix"
         assert ENGINES.default("simulation") == "wordwave"
         assert ENGINES.default("schedule") == "bitset"
+        assert ENGINES.default("aging") == "vectorized"
 
     def test_resolve_default_and_named(self):
         assert ENGINES.resolve("atpg").name == "matrix"
@@ -28,7 +41,8 @@ class TestRegistry:
             ENGINES.resolve("atpg", "quantum")
 
     def test_unknown_stage_lists_stages(self):
-        with pytest.raises(ValueError, match="atpg, schedule, simulation"):
+        with pytest.raises(ValueError,
+                           match="aging, atpg, schedule, simulation"):
             ENGINES.resolve("frobnicate")
 
     def test_duplicate_registration_rejected(self):
@@ -51,10 +65,12 @@ class TestRegistry:
 class TestFlowConfigSelection:
     def test_defaults_normalized(self):
         cfg = FlowConfig()
-        assert cfg.engines == (("atpg", "matrix"), ("schedule", "bitset"),
+        assert cfg.engines == (("aging", "vectorized"), ("atpg", "matrix"),
+                               ("schedule", "bitset"),
                                ("simulation", "wordwave"))
         assert cfg.engine_for("atpg") == "matrix"
         assert cfg.engine_for("simulation") == "wordwave"
+        assert cfg.engine_for("aging") == "vectorized"
 
     def test_explicit_selection(self):
         cfg = FlowConfig(engines=(("atpg", "reference"),))
@@ -97,3 +113,31 @@ class TestDeprecatedShims:
         cfg = FlowConfig()
         assert cfg.atpg_engine == "matrix"
         assert cfg.simulation_engine == "wordwave"
+
+    def test_shim_warns_once_per_process(self):
+        with pytest.warns(DeprecationWarning, match="atpg_engine"):
+            FlowConfig(atpg_engine="reference")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            cfg = FlowConfig(atpg_engine="reference")  # silent repeat
+        assert cfg.engine_for("atpg") == "reference"
+        # Each shim attribute warns independently.
+        with pytest.warns(DeprecationWarning, match="simulation_engine"):
+            FlowConfig(simulation_engine="reference")
+
+
+class TestNoInternalDeprecationUse:
+    def test_internal_flow_paths_are_shim_free(self, s27):
+        """No internal caller constructs FlowConfig via the legacy shims.
+
+        Runs the monolith flow and the staged pipeline end to end with
+        DeprecationWarnings escalated to errors: only *user* code passing
+        ``atpg_engine=``/``simulation_engine=`` may trigger the shim.
+        """
+        from repro.core.flow import HdfTestFlow
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = FlowConfig(atpg_seed=1)
+            HdfTestFlow(s27, config).run(with_schedules=False)
+            HdfTestFlow(s27, config).run_monolith(with_schedules=False)

@@ -1,0 +1,94 @@
+"""Tests for the Weibull hazard mixture behind the fleet populations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aging.hazard import WeibullHazard, WeibullMixture
+
+
+class TestWeibullHazard:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            WeibullHazard(shape=0.0, scale=1.0)
+        with pytest.raises(ValueError, match="scale"):
+            WeibullHazard(shape=1.0, scale=-2.0)
+
+    def test_cdf_shape(self):
+        h = WeibullHazard(shape=2.0, scale=5.0)
+        assert h.cdf(0.0) == 0.0
+        assert h.cdf(-3.0) == 0.0
+        t = np.linspace(0.1, 12.0, 50)
+        c = np.array([h.cdf(x) for x in t])
+        assert np.all(np.diff(c) > 0)
+        assert c[-1] < 1.0
+        # At t = scale the CDF of any Weibull is 1 - 1/e.
+        assert h.cdf(5.0) == pytest.approx(1.0 - np.exp(-1.0))
+
+    def test_quantile_inverts_cdf(self):
+        h = WeibullHazard(shape=0.7, scale=3.0)
+        for u in (0.01, 0.25, 0.5, 0.9, 0.999):
+            assert h.cdf(h.quantile(u)) == pytest.approx(u, rel=1e-12)
+
+    def test_hazard_rate_monotonicity(self):
+        t = np.linspace(0.2, 10.0, 30)
+        wearout = WeibullHazard(shape=4.0, scale=5.0)
+        rates = np.array([wearout.hazard_rate(x) for x in t])
+        assert np.all(np.diff(rates) > 0)       # wear-out: increasing
+        infant = WeibullHazard(shape=0.5, scale=5.0)
+        rates = np.array([infant.hazard_rate(x) for x in t])
+        assert np.all(np.diff(rates) < 0)       # infant: decreasing
+
+    def test_empirical_cdf_matches_analytic(self):
+        h = WeibullHazard(shape=1.8, scale=4.0)
+        rng = np.random.default_rng(5)
+        draws = h.sample(rng, 100_000)
+        for t in (1.0, 3.0, 6.0, 10.0):
+            empirical = float(np.mean(draws <= t))
+            assert empirical == pytest.approx(h.cdf(t), abs=5e-3)
+
+
+class TestWeibullMixture:
+    def test_weight_validation(self):
+        comp = (WeibullHazard(0.5, 1.0), WeibullHazard(4.0, 10.0))
+        with pytest.raises(ValueError, match="sum to 1"):
+            WeibullMixture(components=comp, weights=(0.5, 0.4))
+        with pytest.raises(ValueError, match="one weight per"):
+            WeibullMixture(components=comp, weights=(1.0,))
+
+    def test_bathtub_defaults(self):
+        mix = WeibullMixture.bathtub()
+        assert mix.infant.shape < 1.0      # decreasing early hazard
+        assert mix.wearout.shape > 1.0     # increasing late hazard
+        assert mix.weights[0] == pytest.approx(0.08)
+
+    def test_mixture_cdf_is_weighted_sum(self):
+        mix = WeibullMixture.bathtub()
+        for t in (0.5, 2.0, 8.0, 15.0):
+            expected = sum(w * c.cdf(t) for w, c in
+                           zip(mix.weights, mix.components))
+            assert mix.cdf(t) == pytest.approx(expected)
+
+    def test_sample_components_follow_weights(self):
+        mix = WeibullMixture.bathtub(infant_weight=0.2)
+        rng = np.random.default_rng(9)
+        times, comp = mix.sample(rng, 50_000)
+        assert times.shape == comp.shape == (50_000,)
+        assert np.all(times >= 0.0)
+        assert float(np.mean(comp == 0)) == pytest.approx(0.2, abs=0.01)
+
+    def test_sample_empirical_cdf_statistical(self):
+        """Empirical mixture CDF tracks the analytic one (fixed seed)."""
+        mix = WeibullMixture.bathtub()
+        rng = np.random.default_rng(17)
+        times, _ = mix.sample(rng, 200_000)
+        for t in (0.25, 1.0, 5.0, 10.0, 14.0):
+            empirical = float(np.mean(times <= t))
+            assert empirical == pytest.approx(mix.cdf(t), abs=5e-3)
+
+    def test_infant_draws_skew_early(self):
+        mix = WeibullMixture.bathtub()
+        rng = np.random.default_rng(3)
+        times, comp = mix.sample(rng, 20_000)
+        assert np.median(times[comp == 0]) < np.median(times[comp == 1])

@@ -1,0 +1,109 @@
+"""Tests for declarative aging-scenario files (ScenarioSpec JSON)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.aging.degradation import BtiModel
+from repro.aging.hazard import WeibullHazard, WeibullMixture
+from repro.aging.scenario import (
+    DEFAULT_CHECKPOINTS,
+    ScenarioSpec,
+    VariationSpec,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        spec = ScenarioSpec()
+        assert spec.checkpoints == DEFAULT_CHECKPOINTS
+        assert list(DEFAULT_CHECKPOINTS) == sorted(DEFAULT_CHECKPOINTS)
+
+    def test_checkpoints_must_ascend(self):
+        with pytest.raises(ValueError, match="ascending"):
+            ScenarioSpec(checkpoints=(2.0, 1.0))
+        with pytest.raises(ValueError, match="positive"):
+            ScenarioSpec(checkpoints=(0.0, 1.0))
+        with pytest.raises(ValueError, match="at least one checkpoint"):
+            ScenarioSpec(checkpoints=())
+
+    def test_clock_margin_floor(self):
+        with pytest.raises(ValueError, match="clock_margin"):
+            ScenarioSpec(clock_margin=0.9)
+
+    def test_tau_ordering(self):
+        with pytest.raises(ValueError, match="tau_min"):
+            ScenarioSpec(tau_min=3.0, tau_max=1.0)
+
+    def test_variation_non_negative(self):
+        with pytest.raises(ValueError, match="bti_sigma"):
+            VariationSpec(bti_sigma=-0.1)
+
+
+class TestSerialisation:
+    def test_round_trip_file(self, tmp_path):
+        spec = ScenarioSpec(
+            bti=BtiModel(amplitude=0.03),
+            stress_spread=0.3,
+            variation=VariationSpec(hci_sigma=0.35),
+            hazard=WeibullMixture.bathtub(infant_weight=0.15),
+            checkpoints=(0.5, 1.0, 2.0, 4.0),
+            clock_margin=1.25, seed=99)
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        loaded = ScenarioSpec.load(path)
+        assert loaded == spec
+        assert loaded.fingerprint() == spec.fingerprint()
+
+    def test_dict_round_trip_preserves_hazard(self):
+        spec = ScenarioSpec(hazard=WeibullMixture(
+            components=(WeibullHazard(0.5, 2.0), WeibullHazard(3.0, 9.0)),
+            weights=(0.25, 0.75)))
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again.hazard.components == spec.hazard.components
+        assert again.hazard.weights == spec.hazard.weights
+
+    def test_unknown_fields_rejected(self):
+        data = ScenarioSpec().to_dict()
+        data["frobnicate"] = 1
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            ScenarioSpec.from_dict(data)
+
+    def test_saved_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        ScenarioSpec().save(path)
+        data = json.loads(path.read_text())
+        assert data["clock_margin"] == 1.15
+        assert data["hazard"]["weights"][0] == pytest.approx(0.08)
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert ScenarioSpec().fingerprint() == ScenarioSpec().fingerprint()
+
+    def test_sensitive_to_every_knob(self):
+        base = ScenarioSpec().fingerprint()
+        assert ScenarioSpec(seed=1).fingerprint() != base
+        assert ScenarioSpec(gate_seed=1).fingerprint() != base
+        assert ScenarioSpec(clock_margin=1.2).fingerprint() != base
+        assert ScenarioSpec(
+            variation=VariationSpec(em_sigma=0.3)).fingerprint() != base
+
+    def test_with_seed_only_changes_seed(self):
+        spec = ScenarioSpec(clock_margin=1.3)
+        reseeded = spec.with_seed(7)
+        assert reseeded.seed == 7
+        assert reseeded.clock_margin == 1.3
+        assert reseeded.fingerprint() != spec.fingerprint()
+
+
+class TestDerivedScenario:
+    def test_aging_scenario_carries_models(self):
+        spec = ScenarioSpec(bti=BtiModel(amplitude=0.05), gate_seed=4,
+                            stress_spread=0.2)
+        scen = spec.aging_scenario()
+        assert scen.bti.amplitude == 0.05
+        assert scen.seed == 4
+        assert scen.stress_spread == 0.2

@@ -53,6 +53,13 @@ BENCH_ATPG_FILE = (Path(__file__).resolve().parent.parent
 BENCH_FLEET_FILE = (Path(__file__).resolve().parent.parent
                     / "BENCH_fleet.json")
 
+#: Machine-readable sharded-suite scaling trajectory: written by
+#: test_bench_suite.py (workers-vs-wall-clock curve of the stage-unit
+#: scheduler, the granularity ablation and the real-flow smoke matrix),
+#: consumed by the perf smoke test and by ``repro bench --stage suite``.
+BENCH_SUITE_FILE = (Path(__file__).resolve().parent.parent
+                    / "BENCH_suite.json")
+
 
 def _suite_config(**overrides) -> SuiteRunConfig:
     if _PROFILE == "full":

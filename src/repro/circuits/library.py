@@ -18,6 +18,8 @@ regression tests.
 
 from __future__ import annotations
 
+import random
+import re
 from dataclasses import dataclass
 
 from repro.circuits.generators import CircuitProfile, generate_circuit
@@ -150,9 +152,79 @@ def paper_suite(names: list[str] | None = None) -> list[SuiteEntry]:
 QUICK_SUITE_NAMES = ["s9234", "s13207", "s35932", "p89k"]
 
 
+# ----------------------------------------------------------------------
+# Parameterized synthetic matrix (the sharded-suite workload)
+# ----------------------------------------------------------------------
+#: Size tiers of the synthetic matrix, drawn with the given weights:
+#: (tier, weight, gates range, ffs range, patterns range, depth range).
+#: Mostly small circuits with a medium band and a few large stragglers —
+#: the heterogeneous shape that exposes tail latency in suite scheduling.
+SYNTHETIC_TIERS: tuple[tuple[str, int, tuple[int, int], tuple[int, int],
+                             tuple[int, int], tuple[int, int]], ...] = (
+    ("small", 6, (48, 88), (8, 14), (8, 12), (6, 9)),
+    ("medium", 3, (96, 168), (14, 26), (10, 16), (8, 12)),
+    ("large", 1, (220, 360), (32, 56), (16, 24), (10, 14)),
+)
+
+_SYNTH_NAME = re.compile(r"syn(\d{1,6})")
+
+
+def synthetic_entry(index: int) -> SuiteEntry:
+    """Deterministic synthetic suite circuit ``syn<index>``.
+
+    Every structural parameter derives from ``index`` alone, so a worker
+    process can reconstruct the exact circuit from its *name* — no suite
+    object needs to be shipped across process (or host) boundaries.
+    """
+    if index < 0:
+        raise ValueError("synthetic suite index must be >= 0")
+    rng = random.Random(0x5EED0 + index)
+    tiers = [t for t in SYNTHETIC_TIERS for _ in range(t[1])]
+    _tier, _w, gates_r, ffs_r, pats_r, depth_r = rng.choice(tiers)
+    gates = rng.randint(*gates_r)
+    ffs = rng.randint(*ffs_r)
+    patterns = rng.randint(*pats_r)
+    depth = rng.randint(*depth_r)
+    return SuiteEntry(
+        name=f"syn{index:04d}",
+        paper_gates=gates, paper_ffs=ffs, paper_patterns=patterns,
+        paper_monitors=max(1, ffs // 4),
+        gates=gates, ffs=ffs,
+        inputs=max(6, gates // 10), outputs=max(4, ffs // 3),
+        depth=depth, patterns=patterns,
+        short_path_ppo_fraction=round(rng.uniform(0.10, 0.60), 3),
+        long_edge_prob=round(rng.uniform(0.20, 0.45), 3),
+        endpoint_side_gates=rng.randint(0, 4),
+        seed=1000 + index,
+    )
+
+
+def synthetic_suite(count: int, *, start: int = 0) -> list[SuiteEntry]:
+    """``count`` deterministic synthetic circuits (``syn0000``, ...).
+
+    Scales the evaluation matrix to hundreds of circuits for the sharded
+    suite runner; entries are self-describing by name (see
+    :func:`synthetic_entry`).
+    """
+    return [synthetic_entry(i) for i in range(start, start + count)]
+
+
+def suite_entry(name: str) -> SuiteEntry:
+    """Resolve a suite circuit name: paper suite or synthetic ``syn####``."""
+    entry = _BY_NAME.get(name)
+    if entry is not None:
+        return entry
+    m = _SYNTH_NAME.fullmatch(name)
+    if m is not None:
+        return synthetic_entry(int(m.group(1)))
+    known = sorted(_BY_NAME)
+    raise KeyError(f"unknown suite circuit {name!r} "
+                   f"(paper suite: {known}; synthetic: 'syn<index>')")
+
+
 def scaled_profile(name: str, *, scale: float = 1.0) -> CircuitProfile:
     """Profile of a suite circuit at the given scale."""
-    return _BY_NAME[name].profile(scale=scale)
+    return suite_entry(name).profile(scale=scale)
 
 
 def suite_circuit(name: str, *, scale: float = 1.0,

@@ -11,10 +11,13 @@ Subcommands:
   spec).
 * ``fleet``   — fleet-scale Monte Carlo aging study over a device
   population (same scenario schema, ``--devices``/``--jobs``).
+* ``suite``   — sharded suite runner: decompose a suite into stage work
+  units over the shared stage store and drain them with ``--workers N``
+  cooperating processes (resumable; see ``docs/ALGORITHMS.md`` §15).
 * ``generate``— emit a synthetic benchmark circuit as ``.bench``.
 * ``bench``   — re-measure the perf-baseline workloads and print current
   vs committed (``BENCH_detection.json`` / ``BENCH_schedule.json`` /
-  ``BENCH_atpg.json``) deltas.
+  ``BENCH_atpg.json`` / ``BENCH_suite.json``) deltas.
 
 Examples::
 
@@ -23,6 +26,7 @@ Examples::
     python -m repro tables --suite s9234 s13207 --scale 0.6 --jobs 4
     python -m repro fig3 s13207
     python -m repro aging s27 --marginal 2
+    python -m repro suite --profile synth --count 40 --workers 4
     python -m repro generate demo.bench --gates 200 --ffs 32
     python -m repro bench --stage atpg
 """
@@ -255,6 +259,62 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_suite(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.experiments.reporting import format_table
+    from repro.experiments.runner import SuiteRunConfig
+    from repro.experiments.shard import run_suite_sharded
+
+    if args.profile == "quick":
+        cfg = SuiteRunConfig.quick()
+    elif args.profile == "paper":
+        cfg = SuiteRunConfig()
+    else:
+        cfg = SuiteRunConfig.synth(args.count)
+    overrides: dict = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.schedules:
+        overrides["with_schedules"] = True
+    if overrides:
+        cfg = replace(cfg, **overrides)
+
+    try:
+        report = run_suite_sharded(cfg, workers=args.workers,
+                                   ttl=args.claim_ttl,
+                                   progress=args.progress)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    stats = report.stats
+    print(f"suite: {len(cfg.names)} circuits  profile={args.profile}  "
+          f"workers={report.workers}  wall={report.wall_s:.3f}s")
+    print(f"units: computed={stats.computed}  cached={stats.hits}  "
+          f"reclaimed={stats.reclaimed}  "
+          f"worker_failures={stats.worker_failures}  "
+          f"idle_wait={stats.wait_s:.3f}s")
+    if stats.stage_seconds:
+        print("stages:", "  ".join(
+            f"{k}={v:.3f}s" for k, v in sorted(stats.stage_seconds.items())))
+    if len(cfg.names) <= 16:
+        rows = [
+            {"circuit": name,
+             "faults": res.classification.num_faults,
+             "target": len(res.classification.target),
+             "gain_%": round(res.classification.coverage_gain_percent, 2)}
+            for name, res in report.results.items()
+        ]
+        print(format_table(rows, title="Suite results"))
+    else:
+        total = sum(len(r.classification.target)
+                    for r in report.results.values())
+        print(f"aggregate: {total} target faults across "
+              f"{len(report.results)} circuits")
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     profile = CircuitProfile(
         name=Path(args.output).stem, n_gates=args.gates, n_ffs=args.ffs,
@@ -341,6 +401,43 @@ def _bench_fleet_current(name: str) -> float:
     return bench_fleet_seconds(_load_circuit(name))
 
 
+def _bench_suite_rows(baseline: dict) -> list[dict]:
+    """Re-measure the committed sharded-suite smoke matrix (real flows).
+
+    Each worker count replays the committed synthetic smoke suite on a
+    fresh throwaway stage store, so the measurement is always a cold
+    sharded run — comparable to the committed numbers.
+    """
+    import tempfile
+
+    from repro.experiments.artifact_cache import StageCache
+    from repro.experiments.runner import SuiteRunConfig
+    from repro.experiments.shard import run_suite_sharded
+
+    smoke = baseline.get("smoke")
+    if not smoke:
+        print("warning: BENCH_suite.json has no 'smoke' section; "
+              "re-run benchmarks/test_bench_suite.py", file=sys.stderr)
+        return []
+    cfg = SuiteRunConfig(names=tuple(smoke["names"]),
+                         scale=smoke.get("scale", 1.0),
+                         with_schedules=False)
+    rows = []
+    for w_str, committed in sorted(smoke["workers"].items(),
+                                   key=lambda kv: int(kv[0])):
+        with tempfile.TemporaryDirectory() as td:
+            report = run_suite_sharded(cfg, workers=int(w_str),
+                                       store=StageCache(td))
+        rows.append({
+            "stage": "suite", "circuit": f"smoke w={w_str}",
+            "committed_s": f"{committed:.3f}",
+            "current_s": f"{report.wall_s:.3f}",
+            "delta_percent": round(
+                100.0 * (report.wall_s - committed) / committed, 1),
+        })
+    return rows
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -353,6 +450,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "schedule": (root / "BENCH_schedule.json", _bench_schedule_current),
         "atpg": (root / "BENCH_atpg.json", _bench_atpg_current),
         "fleet": (root / "BENCH_fleet.json", _bench_fleet_current),
+        "suite": (root / "BENCH_suite.json", None),
     }
     # The detection workload is the engine registry's "simulation" stage;
     # accept either spelling.
@@ -396,6 +494,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"warning: {path.name} was recorded with profile "
                   f"{baseline.get('profile')!r}, not 'quick'; deltas are "
                   f"not comparable", file=sys.stderr)
+        if stage == "suite":
+            # The sharded-suite baseline has its own (workers-keyed)
+            # schema — re-measure the committed smoke matrix instead of
+            # the per-circuit loop below.
+            rows.extend(_bench_suite_rows(baseline))
+            continue
         names = tuple(baseline["circuits"])
         if stage != "fleet":
             # The fleet workload is a standalone pipeline; every other
@@ -547,6 +651,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the on-disk stage cache for this run")
     p_fleet.set_defaults(func=cmd_fleet)
 
+    p_suite = sub.add_parser(
+        "suite", help="sharded suite runner over the shared stage store")
+    p_suite.add_argument("--workers", type=int, default=1,
+                         help="cooperating worker processes claiming stage "
+                              "work units (default 1 = in-process)")
+    p_suite.add_argument("--profile", default="quick",
+                         choices=("quick", "paper", "synth"),
+                         help="suite to run: quick (4 circuits), paper "
+                              "(12 circuits), synth (--count synthetic "
+                              "circuits)")
+    p_suite.add_argument("--count", type=int, default=40,
+                         help="synthetic matrix size for --profile synth "
+                              "(default 40)")
+    p_suite.add_argument("--scale", type=float, default=None,
+                         help="override the profile's circuit scale")
+    p_suite.add_argument("--schedules", action="store_true",
+                         help="also optimize test schedules (synth profile "
+                              "skips them by default)")
+    p_suite.add_argument("--claim-ttl", type=float, default=None,
+                         help="stale-claim reclamation TTL in seconds "
+                              "(default: REPRO_CLAIM_TTL or 30)")
+    p_suite.add_argument("--progress", action="store_true",
+                         help="print per-circuit stage progress")
+    p_suite.set_defaults(func=cmd_suite)
+
     p_gen = sub.add_parser("generate", help="emit a synthetic .bench circuit")
     p_gen.add_argument("output")
     p_gen.add_argument("--gates", type=int, default=120)
@@ -562,8 +691,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--stage", default="all",
                          help="bench workload to re-measure: all, detection "
                               "(alias: simulation, adds the per-engine "
-                              "delta table), schedule, atpg or fleet "
-                              "(unknown names are rejected with the "
+                              "delta table), schedule, atpg, fleet or "
+                              "suite (unknown names are rejected with the "
                               "registered list)")
     p_bench.add_argument("--root", type=Path, default=None,
                          help="directory holding the BENCH_*.json baselines "

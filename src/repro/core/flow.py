@@ -62,10 +62,17 @@ class HdfTestFlow:
         self.config = config or FlowConfig()
         self.pipeline = pipeline or DEFAULT_PIPELINE
 
-    def _context(self, *, test_set: TestSet | None,
-                 with_schedules: bool, with_coverage_schedules: bool,
-                 progress: Callable[[str], None] | None,
-                 timer: StageTimer | None) -> StageContext:
+    def context(self, *, test_set: TestSet | None = None,
+                with_schedules: bool = True,
+                with_coverage_schedules: bool = False,
+                progress: Callable[[str], None] | None = None,
+                timer: StageTimer | None = None) -> StageContext:
+        """The :class:`StageContext` a run with these arguments would use.
+
+        Public so external schedulers (the sharded suite runner) can
+        derive stage keys and execute individual stages against the same
+        context the in-process pipeline would see.
+        """
         return StageContext(
             circuit=self.circuit,
             config=self.config,
@@ -93,10 +100,10 @@ class HdfTestFlow:
         per-stage artifact reuse; ``recompute_from`` forces the named
         stages — plus everything downstream — to recompute even on a hit.
         """
-        ctx = self._context(test_set=test_set,
-                            with_schedules=with_schedules,
-                            with_coverage_schedules=with_coverage_schedules,
-                            progress=progress, timer=timer)
+        ctx = self.context(test_set=test_set,
+                           with_schedules=with_schedules,
+                           with_coverage_schedules=with_coverage_schedules,
+                           progress=progress, timer=timer)
         artifacts, meta = self.pipeline.run(ctx, cache=cache,
                                             recompute_from=recompute_from)
         return self._assemble(artifacts, meta)
@@ -109,10 +116,10 @@ class HdfTestFlow:
         """Whole-flow cache probe: the result iff every stage artifact is
         already in ``cache`` (the legacy whole-``FlowResult`` cache as a
         thin wrapper over the per-stage store)."""
-        ctx = self._context(test_set=test_set,
-                            with_schedules=with_schedules,
-                            with_coverage_schedules=with_coverage_schedules,
-                            progress=None, timer=None)
+        ctx = self.context(test_set=test_set,
+                           with_schedules=with_schedules,
+                           with_coverage_schedules=with_coverage_schedules,
+                           progress=None, timer=None)
         artifacts = self.pipeline.cached_artifacts(ctx, cache)
         if artifacts is None:
             return None

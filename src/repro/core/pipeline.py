@@ -104,6 +104,22 @@ class Pipeline:
             keys[name] = hashlib.sha256(blob.encode()).hexdigest()
         return keys
 
+    def unit_descriptors(self, ctx: StageContext) -> tuple[
+            tuple[str, str, tuple[tuple[str, str], ...]], ...]:
+        """Serializable ``(stage, key, ((dep, dep_key), ...))`` descriptors.
+
+        One per registered stage, in topological order — the work-unit
+        decomposition the sharded suite runner
+        (:mod:`repro.experiments.shard`) schedules over a shared stage
+        store: a unit is ready exactly when every ``dep_key`` artifact is
+        present, and complete when its own ``key`` is.
+        """
+        keys = self.stage_keys(ctx)
+        return tuple(
+            (name, keys[name],
+             tuple((d, keys[d]) for d in stage.deps))
+            for name, stage in self._stages.items())
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

@@ -109,6 +109,22 @@ class ArtifactCache:
     def _path(self, key: str) -> Path:
         return self.root / f"{key[:2]}" / f"{key}.pkl"
 
+    def contains(self, key: str) -> bool:
+        """Cheap presence probe (one ``stat``, no deserialization).
+
+        The sharded suite runner uses this for ready-checks; entries are
+        written atomically, so a visible path is always a complete pickle
+        (which may still fail :meth:`load` if written by foreign code).
+        """
+        return self._path(key).exists()
+
+    def delete(self, key: str) -> None:
+        """Drop the entry if present (used by forced recomputes)."""
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            pass
+
     def load(self, key: str) -> Any | None:
         """Return the stored object, or None on miss/corruption."""
         path = self._path(key)

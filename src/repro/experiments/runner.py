@@ -31,7 +31,13 @@ import multiprocessing as mp
 import os
 from dataclasses import dataclass, field, replace
 
-from repro.circuits.library import QUICK_SUITE_NAMES, paper_suite, suite_circuit
+from repro.circuits.library import (
+    QUICK_SUITE_NAMES,
+    paper_suite,
+    suite_circuit,
+    suite_entry,
+    synthetic_suite,
+)
 from repro.core.config import FlowConfig
 from repro.core.flow import HdfTestFlow
 from repro.core.pipeline import DEFAULT_PIPELINE
@@ -75,6 +81,19 @@ class SuiteRunConfig:
         base = cls(names=tuple(QUICK_SUITE_NAMES), scale=0.6)
         return replace(base, **overrides)  # type: ignore[arg-type]
 
+    @classmethod
+    def synth(cls, count: int = 120, *, start: int = 0,
+              **overrides: object) -> "SuiteRunConfig":
+        """A ``count``-circuit synthetic matrix (``syn0000``, ...).
+
+        The sharded-suite workload: hundreds of small, deterministic
+        circuits (see :func:`repro.circuits.library.synthetic_suite`).
+        Schedules are off by default to keep the per-circuit flow cheap.
+        """
+        names = tuple(e.name for e in synthetic_suite(count, start=start))
+        base = cls(names=names, scale=1.0, with_schedules=False)
+        return replace(base, **overrides)  # type: ignore[arg-type]
+
 
 @dataclass
 class _CacheEntry:
@@ -92,8 +111,9 @@ def _stage_cache() -> StageCache | None:
     return StageCache() if cache_enabled() else None
 
 
-def _flow_config(cfg: SuiteRunConfig, pattern_cap: int | None,
-                 stage_jobs: int) -> FlowConfig:
+def flow_config(cfg: SuiteRunConfig, pattern_cap: int | None,
+                stage_jobs: int) -> FlowConfig:
+    """The :class:`FlowConfig` one suite circuit runs under."""
     return FlowConfig(
         fast_ratio=cfg.fast_ratio,
         monitor_fraction=cfg.monitor_fraction,
@@ -104,34 +124,41 @@ def _flow_config(cfg: SuiteRunConfig, pattern_cap: int | None,
     )
 
 
-def _suite_flow(name: str, cfg: SuiteRunConfig, pattern_cap: int | None,
-                stage_jobs: int) -> HdfTestFlow:
+def suite_flow(name: str, cfg: SuiteRunConfig, pattern_cap: int | None,
+               stage_jobs: int) -> HdfTestFlow:
+    """Build the flow for one suite circuit (shared with the shard planner)."""
     circuit = suite_circuit(name, scale=cfg.scale)
-    return HdfTestFlow(circuit, _flow_config(cfg, pattern_cap, stage_jobs))
+    return HdfTestFlow(circuit, flow_config(cfg, pattern_cap, stage_jobs))
 
 
 def _execute_flow(name: str, cfg: SuiteRunConfig, pattern_cap: int | None,
                   stage_jobs: int, progress: bool,
                   timer: StageTimer | None,
-                  recompute_from: tuple[str, ...] = ()) -> FlowResult:
-    flow = _suite_flow(name, cfg, pattern_cap, stage_jobs)
+                  recompute_from: tuple[str, ...] = (),
+                  cache: StageCache | None = None) -> FlowResult:
+    flow = suite_flow(name, cfg, pattern_cap, stage_jobs)
     note = (lambda m, _n=name: print(f"[{_n}] {m}")) if progress else None
     return flow.run(
         with_schedules=cfg.with_schedules,
         with_coverage_schedules=cfg.with_coverage_schedules,
         progress=note, timer=timer,
-        cache=_stage_cache(), recompute_from=recompute_from)
+        cache=cache, recompute_from=recompute_from)
 
 
 def _worker_run(args: tuple[str, SuiteRunConfig, int | None, bool,
-                            tuple[str, ...]]
+                            tuple[str, ...], StageCache | None]
                 ) -> tuple[str, FlowResult, StageTimer]:
-    """Pool entry point: run one circuit flow, stage pools disabled."""
-    name, cfg, pattern_cap, progress, recompute_from = args
+    """Pool entry point: run one circuit flow, stage pools disabled.
+
+    The parent's stage cache (or None) rides along in the args so every
+    worker targets the same store root — claim bookkeeping and hit/miss
+    counters all see a single shared directory.
+    """
+    name, cfg, pattern_cap, progress, recompute_from, cache = args
     timer = StageTimer()
     result = _execute_flow(name, cfg, pattern_cap, stage_jobs=1,
                            progress=progress, timer=timer,
-                           recompute_from=recompute_from)
+                           recompute_from=recompute_from, cache=cache)
     return name, result, timer
 
 
@@ -161,7 +188,9 @@ def run_suite(config: SuiteRunConfig | None = None,
     if recompute_from:
         DEFAULT_PIPELINE.descendants(recompute_from)  # validate names early
     entry = _CACHE.setdefault(cfg, _CacheEntry())
-    suite = {e.name: e for e in paper_suite(list(cfg.names))}
+    suite = {name: suite_entry(name) for name in cfg.names}
+    # One stage store instance for the whole replay: the pre-scan below,
+    # the serial path and every pool worker all target the same root.
     disk = _stage_cache()
 
     caps = {name: suite[name].pattern_budget(scale=cfg.scale)
@@ -171,7 +200,7 @@ def run_suite(config: SuiteRunConfig | None = None,
         if name in entry.results and not recompute_from:
             continue
         if disk is not None and not recompute_from:
-            cached = _suite_flow(name, cfg, caps[name], 1).cached_result(
+            cached = suite_flow(name, cfg, caps[name], 1).cached_result(
                 with_schedules=cfg.with_schedules,
                 with_coverage_schedules=cfg.with_coverage_schedules,
                 cache=disk)
@@ -182,10 +211,14 @@ def run_suite(config: SuiteRunConfig | None = None,
 
     if len(pending) > 1 and cfg.jobs > 1:
         ctx = _pool_context()
-        args = [(name, cfg, caps[name], progress, recompute_from)
+        args = [(name, cfg, caps[name], progress, recompute_from, disk)
                 for name in pending]
         with ctx.Pool(processes=min(cfg.jobs, len(pending))) as pool:
-            for name, result, wtimer in pool.imap(_worker_run, args):
+            # Unordered collection: a slow circuit must not head-of-line
+            # block result pickup and timer merging (results are keyed by
+            # name, so arrival order is irrelevant).
+            for name, result, wtimer in pool.imap_unordered(_worker_run,
+                                                            args):
                 entry.results[name] = result
                 if timer is not None:
                     timer.merge(wtimer)
@@ -195,6 +228,6 @@ def run_suite(config: SuiteRunConfig | None = None,
             entry.results[name] = _execute_flow(
                 name, cfg, caps[name], stage_jobs=cfg.jobs,
                 progress=progress, timer=timer,
-                recompute_from=recompute_from)
+                recompute_from=recompute_from, cache=disk)
 
     return {name: entry.results[name] for name in cfg.names}

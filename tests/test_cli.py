@@ -136,6 +136,61 @@ class TestCommands:
         assert "wordwave_s" in out
 
 
+class TestSuiteCommand:
+    def test_suite_parser_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.workers == 1
+        assert args.profile == "quick"
+        assert args.claim_ttl is None
+
+    def test_suite_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--profile", "nope"])
+
+    def test_suite_sharded_run(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FLOW_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        rc = main(["suite", "--profile", "synth", "--count", "2",
+                   "--scale", "0.25", "--workers", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 circuits" in out
+        assert "workers=2" in out
+        assert "computed=12" in out
+        # Re-invocation resumes entirely from the shared stage store.
+        assert main(["suite", "--profile", "synth", "--count", "2",
+                     "--scale", "0.25", "--workers", "2"]) == 0
+        assert "computed=0" in capsys.readouterr().out
+
+    def test_suite_errors_without_store(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FLOW_CACHE", "0")
+        rc = main(["suite", "--profile", "synth", "--count", "1"])
+        assert rc == 1
+        assert "stage store" in capsys.readouterr().err
+
+    def test_bench_suite_stage(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        baseline = {"profile": "quick", "host_cpus": 1,
+                    "smoke": {"payload": "real", "circuits": 1,
+                              "scale": 0.25, "names": ["syn0002"],
+                              "serial_inprocess_s": 0.1,
+                              "workers": {"1": 0.1}, "parity": True}}
+        (tmp_path / "BENCH_suite.json").write_text(json.dumps(baseline))
+
+        class _Report:
+            wall_s = 0.2
+        monkeypatch.setattr(
+            "repro.experiments.shard.run_suite_sharded",
+            lambda cfg, workers, store: _Report())
+        rc = main(["bench", "--root", str(tmp_path), "--stage", "suite"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "suite" in out
+        assert "smoke w=1" in out
+        assert "100.0" in out  # 0.2s vs 0.1s committed -> +100%
+
+
 class TestFleetCommands:
     def test_fleet_parser_defaults(self):
         args = build_parser().parse_args(["fleet", "s27"])

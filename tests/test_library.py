@@ -11,6 +11,9 @@ from repro.circuits.library import (
     paper_suite,
     scaled_profile,
     suite_circuit,
+    suite_entry,
+    synthetic_entry,
+    synthetic_suite,
 )
 
 
@@ -72,3 +75,45 @@ class TestSuite:
         assert by_name["s35932"].endpoint_side_gates == 0
         assert by_name["p78k"].endpoint_side_gates == 0
         assert by_name["p89k"].endpoint_side_gates >= 3
+
+
+class TestSynthetic:
+    def test_entries_are_deterministic(self):
+        assert synthetic_entry(7) == synthetic_entry(7)
+        assert synthetic_entry(7) != synthetic_entry(8)
+
+    def test_names_are_self_describing(self):
+        e = synthetic_entry(42)
+        assert e.name == "syn0042"
+        # A worker can rebuild the exact entry from the name alone.
+        assert suite_entry("syn0042") == e
+
+    def test_suite_scales_to_hundreds_of_circuits(self):
+        entries = synthetic_suite(200)
+        assert len(entries) == 200
+        assert len({e.name for e in entries}) == 200
+        assert len({e.seed for e in entries}) == 200
+
+    def test_suite_start_offset(self):
+        assert synthetic_suite(3, start=10)[0] == synthetic_entry(10)
+
+    def test_tiers_produce_heterogeneous_sizes(self):
+        gates = [e.gates for e in synthetic_suite(60)]
+        assert min(gates) < 100 < max(gates)
+
+    def test_entries_generate_finalized_circuits(self):
+        c = suite_circuit("syn0003", scale=0.5)
+        assert c.name == "syn0003"
+        assert c.is_finalized
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_entry(-1)
+
+    def test_suite_entry_resolves_paper_and_synthetic(self):
+        assert suite_entry("s9234") is PAPER_SUITE[0]
+        assert suite_entry("syn0000").name == "syn0000"
+        with pytest.raises(KeyError, match="unknown suite circuit"):
+            suite_entry("nope")
+        with pytest.raises(KeyError):
+            suite_entry("syn12x")  # malformed index is not synthetic

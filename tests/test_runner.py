@@ -192,3 +192,22 @@ class TestDiskCache:
         clear_cache()
         run_suite(replace(disk_cfg, jobs=2))  # same key: no new artifact
         assert sorted(tmp_path.rglob("*.pkl")) == sorted(entries)
+
+    def test_run_suite_constructs_exactly_one_stage_cache(self, disk_cfg,
+                                                          monkeypatch):
+        # Regression: the pre-scan and the execution path used to build
+        # separate StageCache instances; one instance is now threaded
+        # through the cached-result probe, the pool workers and the
+        # serial path alike.
+        from repro.experiments.artifact_cache import StageCache
+
+        constructed = []
+        orig = StageCache.__init__
+
+        def counting(self, root=None):
+            constructed.append(self)
+            orig(self, root)
+
+        monkeypatch.setattr(StageCache, "__init__", counting)
+        run_suite(disk_cfg)
+        assert len(constructed) == 1

@@ -53,6 +53,13 @@ BENCH_ATPG_FILE = (Path(__file__).resolve().parent.parent
 BENCH_FLEET_FILE = (Path(__file__).resolve().parent.parent
                     / "BENCH_fleet.json")
 
+#: Machine-readable rescheduling perf trajectory: written by
+#: test_bench_resched.py (incremental warm re-solve vs the cold full
+#: recompute on the alert-burst replay), consumed by the perf smoke test
+#: and by ``repro bench --stage resched``.
+BENCH_RESCHED_FILE = (Path(__file__).resolve().parent.parent
+                      / "BENCH_resched.json")
+
 #: Machine-readable sharded-suite scaling trajectory: written by
 #: test_bench_suite.py (workers-vs-wall-clock curve of the stage-unit
 #: scheduler, the granularity ablation and the real-flow smoke matrix),

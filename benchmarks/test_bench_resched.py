@@ -1,0 +1,98 @@
+"""Benchmark + persistent perf baseline of the rescheduling engine.
+
+Replays the committed alert-burst workload (single-gate alerts on a
+dense lifetime checkpoint grid, restricted to fault-carrying gates) on
+every suite circuit with both ``resched`` engines — the warm-started
+incremental re-solve racing the cold full recompute — asserts the two
+stay cost-equal at every alert, and persists the machine-readable
+latency/speedup trajectory to ``BENCH_resched.json`` at the repository
+root (see EXPERIMENTS.md).  The perf smoke test in
+``tests/test_perf_smoke.py`` guards the committed numbers: quick-profile
+single-alert re-solves must stay under 100 ms median and the burst
+replay at least 5x faster than the cold pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import _PROFILE, BENCH_RESCHED_FILE, write_artifact
+
+from repro.experiments.resched import (
+    ALERT_CHECKPOINTS,
+    ALERT_THRESHOLD_PS,
+    DEFAULT_SPEC,
+    aggregate_totals,
+    replay_record,
+    replay_result,
+)
+
+#: The interactive-re-solve targets the quick-profile baseline must hold.
+MAX_MEDIAN_MS = 100.0
+MIN_SPEEDUP = 5.0
+
+
+def test_resched_replay_benchmark(benchmark, suite_results, results_dir):
+    best: dict[str, object] = {}
+
+    def run_all():
+        for name, res in suite_results.items():
+            replay = replay_result(res)
+            assert replay.cost_equal, (
+                f"incremental schedule diverged from cold on {name}")
+            prev = best.get(name)
+            if prev is None:
+                best[name] = replay
+                continue
+            # Best-of-rounds noise damping, per side: keep the faster
+            # incremental round and the faster cold round independently
+            # (the conservative pairing — it can only shrink the ratio).
+            winner = replay if replay.total_s < prev.total_s else prev
+            other = prev if winner is replay else replay
+            if other.cold_total_s < winner.cold_total_s:
+                winner.cold_s = other.cold_s
+            winner.cost_equal = prev.cost_equal and replay.cost_equal
+            best[name] = winner
+        return best
+
+    benchmark.pedantic(run_all, rounds=2, iterations=1)
+
+    records = {name: replay_record(best[name], suite_results[name])
+               for name in best}
+    totals = aggregate_totals(best.values())
+    assert totals["cost_equal"] is True
+
+    payload = {
+        "profile": _PROFILE,
+        "engine": "incremental",
+        "workload": {
+            "checkpoints": len(ALERT_CHECKPOINTS),
+            "max_gates": 1,
+            "threshold_ps": ALERT_THRESHOLD_PS,
+            "gate_seed": DEFAULT_SPEC.gate_seed,
+            "seed": DEFAULT_SPEC.seed,
+        },
+        "circuits": records,
+        "totals": totals,
+    }
+    BENCH_RESCHED_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if _PROFILE == "quick":
+        # The headline interactive-rescheduling claims, asserted on the
+        # profile the committed baseline and the perf guard replay.
+        assert totals["median_ms"] < MAX_MEDIAN_MS, totals
+        assert totals["speedup"] >= MIN_SPEEDUP, totals
+
+    lines = [f"{'circuit':>10} {'alerts':>6} {'med [ms]':>9} "
+             f"{'max [ms]':>9} {'inc [s]':>8} {'cold [s]':>9} {'x':>6}"]
+    for name, r in records.items():
+        lines.append(f"{name:>10} {r['alerts']:>6} {r['median_ms']:>9.2f} "
+                     f"{r['max_ms']:>9.2f} {r['total_s']:>8.3f} "
+                     f"{r['cold_total_s']:>9.3f} {r['speedup']:>6.2f}")
+    lines.append(f"{'total':>10} {totals['alerts']:>6} "
+                 f"{totals['median_ms']:>9.2f} {totals['max_ms']:>9.2f} "
+                 f"{totals['incremental_s']:>8.3f} "
+                 f"{totals['cold_s']:>9.3f} {totals['speedup']:>6.2f}")
+    text = "\n".join(lines)
+    write_artifact(results_dir, "bench_resched.txt", text)
+    print("\n" + text)

@@ -14,10 +14,14 @@ Subcommands:
 * ``suite``   — sharded suite runner: decompose a suite into stage work
   units over the shared stage store and drain them with ``--workers N``
   cooperating processes (resumable; see ``docs/ALGORITHMS.md`` §15).
+* ``resched`` — replay an in-field monitor alert stream (JSON file or a
+  ``ScenarioSpec``-driven synthetic generator) through the adaptive
+  rescheduling engine and print per-alert re-solve latencies.
 * ``generate``— emit a synthetic benchmark circuit as ``.bench``.
 * ``bench``   — re-measure the perf-baseline workloads and print current
   vs committed (``BENCH_detection.json`` / ``BENCH_schedule.json`` /
-  ``BENCH_atpg.json`` / ``BENCH_suite.json``) deltas.
+  ``BENCH_atpg.json`` / ``BENCH_resched.json`` / ``BENCH_suite.json``)
+  deltas.
 
 Examples::
 
@@ -27,6 +31,7 @@ Examples::
     python -m repro fig3 s13207
     python -m repro aging s27 --marginal 2
     python -m repro suite --profile synth --count 40 --workers 4
+    python -m repro resched s9234 --alerts alerts.json --engine incremental
     python -m repro generate demo.bench --gates 200 --ffs 32
     python -m repro bench --stage atpg
 """
@@ -315,6 +320,79 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_resched(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.engines import ENGINES
+    from repro.experiments.resched import (
+        ALERT_CHECKPOINTS,
+        DEFAULT_SPEC,
+        alert_stream_for_state,
+    )
+    from repro.scheduling.resched import (
+        load_alert_stream,
+        prepare_state_for_result,
+    )
+
+    try:
+        engine = ENGINES.resolve("resched", args.engine)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    circuit = _load_circuit(args.circuit)
+    result = HdfTestFlow(circuit, _flow_config(args)).run(
+        with_schedules=False, cache=_stage_cache(args))
+    state = prepare_state_for_result(result)
+    if args.alerts:
+        alerts = load_alert_stream(args.alerts)
+    else:
+        spec = DEFAULT_SPEC
+        if args.scenario:
+            from repro.aging.scenario import ScenarioSpec
+
+            spec = ScenarioSpec.load(args.scenario)
+        alerts = alert_stream_for_state(circuit, state, spec=spec,
+                                        checkpoints=ALERT_CHECKPOINTS,
+                                        max_gates=args.max_gates)
+    base = state.schedule
+    print(f"resched: {circuit.name}  engine={engine.name}  "
+          f"alerts={len(alerts)}  targets={len(state.targets)}  "
+          f"initial: freqs={base.num_frequencies} "
+          f"entries={base.num_entries} covered={len(base.covered)}")
+    events = []
+    for k, delta in enumerate(alerts):
+        out = engine.fn(state, delta)
+        sched = out.schedule
+        path = out.fast_path or out.stats.get("step1_path", "?")
+        events.append({
+            "alert": k, "gates": sorted(delta.gates),
+            "ms": round(1000.0 * out.seconds, 3), "path": path,
+            "frequencies": sched.num_frequencies,
+            "entries": sched.num_entries, "covered": len(sched.covered),
+        })
+        if not args.json:
+            print(f"  #{k:<3d} gates={','.join(map(str, sorted(delta.gates))) or '-':<12s} "
+                  f"{1000.0 * out.seconds:8.2f} ms  {path:<18s} "
+                  f"freqs={sched.num_frequencies:<3d} "
+                  f"entries={sched.num_entries:<4d} "
+                  f"covered={len(sched.covered)}")
+    lat = sorted(e["ms"] for e in events)
+    summary = {
+        "circuit": circuit.name, "engine": engine.name,
+        "alerts": len(events),
+        "median_ms": round(lat[len(lat) // 2], 3) if lat else 0.0,
+        "max_ms": max(lat) if lat else 0.0,
+        "total_s": round(sum(lat) / 1000.0, 4),
+    }
+    if args.json:
+        print(json.dumps({"summary": summary, "events": events}, indent=2))
+    else:
+        print(f"summary: median={summary['median_ms']:.2f} ms  "
+              f"max={summary['max_ms']:.2f} ms  "
+              f"total={summary['total_s']:.3f} s")
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
     profile = CircuitProfile(
         name=Path(args.output).stem, n_gates=args.gates, n_ffs=args.ffs,
@@ -390,6 +468,17 @@ def _bench_atpg_current(res) -> float:
     return best
 
 
+def _bench_resched_current(res) -> float:
+    """Incremental alert-burst replay seconds (the committed workload)."""
+    from repro.experiments.resched import replay_result
+
+    replay = replay_result(res)
+    if not replay.cost_equal:
+        print(f"warning: incremental schedules diverged from cold on "
+              f"{res.circuit.name}", file=sys.stderr)
+    return replay.total_s
+
+
 def _bench_fleet_current(name: str) -> float:
     """Re-time the committed fleet workload for one circuit name.
 
@@ -450,6 +539,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "schedule": (root / "BENCH_schedule.json", _bench_schedule_current),
         "atpg": (root / "BENCH_atpg.json", _bench_atpg_current),
         "fleet": (root / "BENCH_fleet.json", _bench_fleet_current),
+        "resched": (root / "BENCH_resched.json", _bench_resched_current),
         "suite": (root / "BENCH_suite.json", None),
     }
     # The detection workload is the engine registry's "simulation" stage;
@@ -466,12 +556,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
     rows = []
     engine_rows = []
     cache_rows: dict[str, dict] = {}
+    memo_sources: dict[str, object] = {}
     seen_results: set[int] = set()
 
     def _tally(results) -> None:
         # Per-pipeline-stage wall clock and cache hit/miss counters,
         # aggregated across the suite replays backing the measurements.
-        for res in results.values():
+        for name, res in results.items():
+            memo_sources.setdefault(name, res)
             if id(res) in seen_results:
                 continue
             seen_results.add(id(res))
@@ -558,6 +650,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
                       for r in cache_rows.values()]
         print(format_table(stage_rows,
                            title="Stage cache (suite replay)"))
+    if memo_sources:
+        # Read after the measurements: the schedule/resched workloads are
+        # what exercise the DetectionData schedule-candidate memo.
+        memo_rows = []
+        for name, res in sorted(memo_sources.items()):
+            data = getattr(res, "data", None)
+            if data is None:        # stubbed results in unit tests
+                continue
+            memo_rows.append({"circuit": name, **data._sched_cache.stats()})
+        if memo_rows:
+            totals = {"circuit": "total"}
+            for key in ("hits", "misses", "evictions", "size"):
+                totals[key] = sum(r[key] for r in memo_rows)
+            totals["maxsize"] = memo_rows[0]["maxsize"]
+            memo_rows.append(totals)
+            print(format_table(
+                memo_rows,
+                title="Schedule memo (DetectionData._sched_cache)"))
     return 0
 
 
@@ -676,6 +786,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print per-circuit stage progress")
     p_suite.set_defaults(func=cmd_suite)
 
+    p_resched = sub.add_parser(
+        "resched", help="replay an in-field alert stream against the "
+                        "adaptive rescheduling engine")
+    add_flow_args(p_resched)
+    add_cache_args(p_resched)
+    p_resched.add_argument("--alerts", metavar="FILE.json", default=None,
+                           help="JSON alert stream (list of events: "
+                                "{'gate': G, 'shift_ps': S}, bursts as "
+                                "lists, or {'shifts': {G: S}}); default: "
+                                "a scenario-driven synthetic stream")
+    p_resched.add_argument("--scenario", metavar="FILE.json", default=None,
+                           help="ScenarioSpec JSON driving the synthetic "
+                                "alert generator (ignored with --alerts)")
+    p_resched.add_argument("--engine", default=None,
+                           help="resched engine: incremental (default) or "
+                                "cold (full re-solve baseline)")
+    p_resched.add_argument("--max-gates", type=int, default=1,
+                           help="alert granularity: gates per synthetic "
+                                "alert event (default 1)")
+    p_resched.add_argument("--json", action="store_true",
+                           help="print per-alert events and the summary "
+                                "as JSON")
+    p_resched.set_defaults(func=cmd_resched)
+
     p_gen = sub.add_parser("generate", help="emit a synthetic .bench circuit")
     p_gen.add_argument("output")
     p_gen.add_argument("--gates", type=int, default=120)
@@ -691,9 +825,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--stage", default="all",
                          help="bench workload to re-measure: all, detection "
                               "(alias: simulation, adds the per-engine "
-                              "delta table), schedule, atpg, fleet or "
-                              "suite (unknown names are rejected with the "
-                              "registered list)")
+                              "delta table), schedule, atpg, fleet, "
+                              "resched or suite (unknown names are "
+                              "rejected with the registered list)")
     p_bench.add_argument("--root", type=Path, default=None,
                          help="directory holding the BENCH_*.json baselines "
                               "(default: the repo root)")

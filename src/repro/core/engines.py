@@ -111,6 +111,14 @@ def _schedule_adapter():
     return run
 
 
+def _resched_adapter(engine_name: str) -> Callable[..., Any]:
+    def run(state, delta):
+        from repro.scheduling.resched import RESCHED_ENGINES
+
+        return RESCHED_ENGINES[engine_name](state, delta)
+    return run
+
+
 def _fleet_adapter(engine_name: str) -> Callable[..., Any]:
     def run(circuit, spec, population, **kwargs):
         from repro.aging.fleet import FLEET_ENGINES
@@ -137,6 +145,12 @@ def _build_default_registry() -> EngineRegistry:
                  doc="seed full-cone resweep, bit-identical cross-check")
     reg.register("schedule", "bitset", _schedule_adapter(), default=True,
                  doc="packed-bitset two-step covering pipeline (PR 3)")
+    reg.register("resched", "incremental", _resched_adapter("incremental"),
+                 default=True,
+                 doc="warm-started incremental alert re-solve (PR 9)")
+    reg.register("resched", "cold", _resched_adapter("cold"),
+                 doc="full cold re-solve per alert, the equivalence "
+                     "yardstick and bench baseline")
     reg.register("aging", "vectorized", _fleet_adapter("vectorized"),
                  default=True,
                  doc="(gates, devices) block-kernel fleet Monte Carlo (PR 7)")

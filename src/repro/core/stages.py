@@ -270,6 +270,9 @@ class SimulationStage(Stage):
     deps = ("sta", "faults", "atpg")
     artifact_type = DetectionArtifact
     config_fields = ("inertial_ps",)
+    # v2: DetectionData._sched_cache became a bounded LruCache — older
+    # pickled artifacts carry a plain dict there.
+    CACHE_VERSION = 2
 
     def run(self, ctx: StageContext,
             inputs: dict[str, Any]) -> DetectionArtifact:

@@ -40,11 +40,18 @@ from repro.faults.models import SmallDelayFault
 from repro.netlist.circuit import Circuit, GateKind
 from repro.simulation.parallel_sim import BitParallelSimulator
 from repro.simulation.wave_sim import DEFAULT_INERTIAL_PS, WaveformSimulator
+from repro.utils.cache import LruCache
 from repro.utils.intervals import IntervalAccumulator, IntervalSet
 from repro.utils.profiling import StageTimer
 
 #: Recognized values of the ``engine`` parameter.
 ENGINES = ("wordwave", "incremental", "reference")
+
+#: Bound of the per-data schedule-candidate memo (``_sched_cache``): one
+#: flow run queries at most a handful of distinct (targets, configs,
+#: window) tuples, so a small window keeps every live key resident while
+#: capping growth across ad-hoc queries.
+SCHED_CACHE_SIZE = 8
 
 
 def _build_simulator(circuit: Circuit, inertial: float) -> WaveformSimulator:
@@ -89,8 +96,13 @@ class DetectionData:
         = field(default_factory=dict, repr=False)
     #: (targets, configs, window, policy) -> (ranges, CandidateSet); the
     #: schedule optimizer's discretization cache — the heuristic, proposed
-    #: and relaxed-coverage schedules all share one candidate set.
-    _sched_cache: dict = field(default_factory=dict, repr=False)
+    #: and relaxed-coverage schedules all share one candidate set.  Bounded:
+    #: distinct candidate-set keys (different target sets, windows, prune
+    #: policies) used to accumulate without limit; the LRU keeps the most
+    #: recent ones and counts hits/misses for ``repro bench``.
+    _sched_cache: LruCache = field(
+        default_factory=lambda: LruCache(maxsize=SCHED_CACHE_SIZE),
+        repr=False)
 
     def add(self, fault_idx: int, pattern_idx: int,
             fpr: FaultPatternRange) -> None:

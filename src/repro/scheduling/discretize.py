@@ -28,7 +28,7 @@ before-side of the persistent ``BENCH_schedule.json`` perf baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Mapping
+from typing import Hashable, Mapping, MutableMapping
 
 import numpy as np
 
@@ -96,55 +96,88 @@ def _pick_time(segment: Interval, point: str) -> float:
     raise ValueError(f"unknown candidate point policy {point!r}")
 
 
-def discretize_candidate_set(
-    fault_ranges: Mapping[Hashable, IntervalSet],
-    t_min: float,
-    t_nom: float,
-    *,
-    prune_dominated: bool = True,
-    point: str = "mid",
-) -> CandidateSet:
-    """Sweep-line discretization returning the packed candidate matrix.
+@dataclass(frozen=True)
+class SweepGrid:
+    """Segment grid of one discretization sweep.
 
-    Semantics match :func:`discretize_observation_times` (which wraps this
-    function) — same segments, same merge rule, same dominance pruning and
-    tie-breaking — but the fault sets are built as bit-matrix rows.
+    ``pts`` are the sorted segment boundary points inside the observable
+    window; ``lows``/``highs``/``mids`` the per-segment edges and
+    midpoints; ``degenerate`` flags zero-length segments that must never
+    become candidates.  The rescheduling engine caches the grid together
+    with the raw occupancy matrix so a degradation delta can patch only
+    the dirty faults' rows (see :mod:`repro.scheduling.resched`).
     """
-    fault_ids = tuple(sorted(fault_ranges, key=repr))
-    boundaries: list[float] = []
-    for rng in fault_ranges.values():
-        boundaries.extend(rng.boundaries())
-    pts = segment_points(boundaries, t_min, t_nom)
-    n_seg = max(0, len(pts) - 1)
-    if n_seg == 0 or not fault_ids:
-        return CandidateSet((), zeros(0, len(fault_ids)), fault_ids)
 
-    lows = np.asarray(pts[:-1])
-    highs = np.asarray(pts[1:])
-    mids = 0.5 * (lows + highs)
+    pts: np.ndarray
+    lows: np.ndarray
+    highs: np.ndarray
+    mids: np.ndarray
+    degenerate: np.ndarray
 
+    @property
+    def n_segments(self) -> int:
+        return int(self.lows.shape[0])
+
+
+def sweep_grid(boundaries: list[float], t_min: float,
+               t_nom: float) -> SweepGrid:
+    """Build the segment grid from all interval boundary points."""
+    pts = np.asarray(segment_points(boundaries, t_min, t_nom))
+    if pts.shape[0] < 2:
+        empty = np.empty(0)
+        return SweepGrid(pts=pts, lows=empty, highs=empty, mids=empty,
+                         degenerate=np.empty(0, dtype=bool))
+    lows = pts[:-1]
+    highs = pts[1:]
     # Guard (robustness): duplicate interval endpoints can only produce
     # zero-length segments when the whole window degenerates (segment_points
     # guarantees > EPS gaps otherwise); such segments must never become
     # candidates, so they are masked out of the sweep explicitly rather
     # than relying on downstream filtering.
-    degenerate = (highs - lows) <= EPS
+    return SweepGrid(pts=pts, lows=lows, highs=highs,
+                     mids=0.5 * (lows + highs),
+                     degenerate=(highs - lows) <= EPS)
 
-    # Fill the occupancy matrix: interval [lo, hi] of fault bit b covers
-    # exactly the segments whose midpoint lies in [lo - EPS, hi + EPS] —
-    # identical to the seed's IntervalSet.contains(mid) test — which is a
-    # contiguous slice of the sorted midpoint array.
-    matrix = zeros(n_seg, len(fault_ids))
-    for b, fid in enumerate(fault_ids):
-        word, bit = b >> 6, np.uint64(1 << (b & 63))
-        for iv in fault_ranges[fid]:
-            i0 = int(np.searchsorted(mids, iv.lo - EPS, side="left"))
-            i1 = int(np.searchsorted(mids, iv.hi + EPS, side="right"))
-            if i1 > i0:
-                matrix[i0:i1, word] |= bit
-    if degenerate.any():
-        matrix[degenerate] = 0
 
+def fill_fault_row(matrix: np.ndarray, grid: SweepGrid, b: int,
+                   rng: IntervalSet) -> None:
+    """OR fault bit ``b``'s occupancy into ``matrix`` (in place).
+
+    Interval [lo, hi] covers exactly the segments whose midpoint lies in
+    [lo - EPS, hi + EPS] — identical to the seed's
+    ``IntervalSet.contains(mid)`` test — which is a contiguous slice of
+    the sorted midpoint array.
+    """
+    word, bit = b >> 6, np.uint64(1 << (b & 63))
+    for iv in rng:
+        i0 = int(np.searchsorted(grid.mids, iv.lo - EPS, side="left"))
+        i1 = int(np.searchsorted(grid.mids, iv.hi + EPS, side="right"))
+        if i1 > i0:
+            matrix[i0:i1, word] |= bit
+
+
+def finalize_candidates(matrix: np.ndarray, grid: SweepGrid,
+                        fault_ids: tuple[Hashable, ...], *,
+                        prune_dominated: bool = True,
+                        point: str = "mid",
+                        faults_cache: "MutableMapping | None" = None,
+                        candidate_cache: "MutableMapping | None" = None
+                        ) -> CandidateSet:
+    """Merge, prune and materialize candidates from a filled occupancy
+    matrix (``matrix`` must already be restricted to non-degenerate
+    segments — callers apply ``grid.degenerate``).  Shared tail of the
+    cold sweep and the rescheduling engine's delta patch path.
+
+    ``faults_cache`` (optional, e.g. an ``LruCache``) memoizes the
+    per-row frozenset materialization keyed by the packed row bytes:
+    across incremental re-solves most candidate rows recur unchanged, so
+    their (immutable, safely shared) fault sets need not be rebuilt.
+    ``candidate_cache`` memoizes whole :class:`PeriodCandidate` objects
+    by ``(row bytes, segment lo, segment hi)`` — callers must keep one
+    cache per ``point`` policy.
+    """
+    n_seg = grid.n_segments
+    lows, highs = grid.lows, grid.highs
     nonempty = matrix.any(axis=1)
     if not nonempty.any():
         return CandidateSet((), zeros(0, len(fault_ids)), fault_ids)
@@ -158,33 +191,107 @@ def discretize_candidate_set(
         same_as_prev[1:] = (np.all(matrix[1:] == matrix[:-1], axis=1)
                             & nonempty[1:] & nonempty[:-1])
 
-    run_lo: list[float] = []
-    run_hi: list[float] = []
-    run_row: list[int] = []
-    for i in np.flatnonzero(nonempty):
-        if run_row and same_as_prev[i]:
-            run_hi[-1] = float(highs[i])
-        else:
-            run_lo.append(float(lows[i]))
-            run_hi.append(float(highs[i]))
-            run_row.append(int(i))
-    merged = matrix[run_row]
-    segments = [Interval(a, b) for a, b in zip(run_lo, run_hi)]
+    # A run starts at every non-empty segment not linked to its
+    # predecessor and ends just before the next start (runs partition the
+    # non-empty indices in order; empty gaps break the linkage above).
+    idx = np.flatnonzero(nonempty)
+    is_start = ~same_as_prev[idx]
+    starts = idx[is_start]
+    end_sel = np.roll(is_start, -1)
+    end_sel[-1] = True
+    ends = idx[end_sel]
+    merged = matrix[starts]
+    seg_lo = lows[starts]
+    seg_hi = highs[ends]
 
-    keep = np.arange(len(segments))
     if prune_dominated:
         keep = np.array(_prune_dominated_rows(
-            merged, [s.midpoint for s in segments]), dtype=np.int64)
+            merged, 0.5 * (seg_lo + seg_hi)), dtype=np.int64)
         merged = merged[keep]
-        segments = [segments[i] for i in keep]
+        seg_lo = seg_lo[keep]
+        seg_hi = seg_hi[keep]
+    if candidate_cache is not None:
+        # Warm path: whole PeriodCandidate objects (frozen, safely shared
+        # across CandidateSets) are memoized by row bytes + segment edges;
+        # across incremental re-solves almost every candidate recurs.
+        out = []
+        los, his = seg_lo.tolist(), seg_hi.tolist()
+        for r in range(merged.shape[0]):
+            rb = merged[r].tobytes()
+            key = (rb, los[r], his[r])
+            cand = candidate_cache.get(key)
+            if cand is None:
+                fs = None
+                if faults_cache is not None:
+                    fs = faults_cache.get(rb)
+                if fs is None:
+                    fs = frozenset(
+                        fault_ids[b]
+                        for b in matrix_bits(merged[r:r + 1])[0])
+                    if faults_cache is not None:
+                        faults_cache[rb] = fs
+                seg = Interval(los[r], his[r])
+                cand = PeriodCandidate(time=_pick_time(seg, point),
+                                       segment=seg, faults=fs)
+                candidate_cache[key] = cand
+            out.append(cand)
+        return CandidateSet(tuple(out), merged, fault_ids)
 
-    bits_per_row = matrix_bits(merged)
+    segments = [Interval(a, b)
+                for a, b in zip(seg_lo.tolist(), seg_hi.tolist())]
+
+    if faults_cache is None:
+        bits_per_row = matrix_bits(merged)
+        fault_sets = [frozenset(fault_ids[b] for b in bits)
+                      for bits in bits_per_row]
+    else:
+        fault_sets = []
+        for r in range(merged.shape[0]):
+            key = merged[r].tobytes()
+            fs = faults_cache.get(key)
+            if fs is None:
+                fs = frozenset(fault_ids[b]
+                               for b in matrix_bits(merged[r:r + 1])[0])
+                faults_cache[key] = fs
+            fault_sets.append(fs)
     candidates = tuple(
-        PeriodCandidate(
-            time=_pick_time(seg, point), segment=seg,
-            faults=frozenset(fault_ids[b] for b in bits))
-        for seg, bits in zip(segments, bits_per_row))
+        PeriodCandidate(time=_pick_time(seg, point), segment=seg, faults=fs)
+        for seg, fs in zip(segments, fault_sets))
     return CandidateSet(candidates, merged, fault_ids)
+
+
+def discretize_candidate_set(
+    fault_ranges: Mapping[Hashable, IntervalSet],
+    t_min: float,
+    t_nom: float,
+    *,
+    prune_dominated: bool = True,
+    point: str = "mid",
+) -> CandidateSet:
+    """Sweep-line discretization returning the packed candidate matrix.
+
+    Semantics match :func:`discretize_observation_times` (which wraps this
+    function) — same segments, same merge rule, same dominance pruning and
+    tie-breaking — but the fault sets are built as bit-matrix rows.
+    Composed from :func:`sweep_grid` / :func:`fill_fault_row` /
+    :func:`finalize_candidates` so the rescheduling engine can rebuild only
+    the stages a degradation delta invalidates.
+    """
+    fault_ids = tuple(sorted(fault_ranges, key=repr))
+    boundaries: list[float] = []
+    for rng in fault_ranges.values():
+        boundaries.extend(rng.boundaries())
+    grid = sweep_grid(boundaries, t_min, t_nom)
+    if grid.n_segments == 0 or not fault_ids:
+        return CandidateSet((), zeros(0, len(fault_ids)), fault_ids)
+
+    matrix = zeros(grid.n_segments, len(fault_ids))
+    for b, fid in enumerate(fault_ids):
+        fill_fault_row(matrix, grid, b, fault_ranges[fid])
+    if grid.degenerate.any():
+        matrix[grid.degenerate] = 0
+    return finalize_candidates(matrix, grid, fault_ids,
+                               prune_dominated=prune_dominated, point=point)
 
 
 def discretize_observation_times(
@@ -209,7 +316,7 @@ def discretize_observation_times(
 
 
 def _prune_dominated_rows(matrix: np.ndarray,
-                          times: list[float]) -> list[int]:
+                          times: np.ndarray) -> list[int]:
     """Row indices surviving dominance pruning, ascending.
 
     Seed tie-breaking preserved: rows are scanned by (-popcount, -time) —
@@ -219,6 +326,7 @@ def _prune_dominated_rows(matrix: np.ndarray,
     to nominal, which are cheaper to generate.
     """
     counts = popcount(matrix)
-    order = sorted(range(matrix.shape[0]),
-                   key=lambda i: (-int(counts[i]), -times[i]))
+    # lexsort is stable with the last key primary — identical order to
+    # sorted(key=lambda i: (-counts[i], -times[i])).
+    order = np.lexsort((-np.asarray(times), -counts)).tolist()
     return sorted(dominated_rows(matrix, order))

@@ -328,11 +328,35 @@ def optimize_schedule(
     ranges, cand_set = _candidate_set_cached(
         data, targets, clock, configs, prune_dominated, candidate_point,
         timer)
-    candidates = list(cand_set.candidates)
     if not ranges:
         return ScheduleResult(periods=[], entries=[], targets=targets,
                               covered=frozenset(), method=solver,
                               num_candidates=0)
+    return optimize_from_candidates(
+        data.ranges, cand_set, targets, configs, coverage=coverage,
+        solver=solver, time_limit=time_limit, jobs=jobs, timer=timer)
+
+
+def optimize_from_candidates(
+    pattern_ranges: Mapping[int, Mapping[int, FaultPatternRange]],
+    cand_set: CandidateSet,
+    targets: frozenset[int],
+    configs: MonitorConfigSet | None,
+    *,
+    coverage: float = 1.0,
+    solver: Solver = "ilp",
+    time_limit: float = DEFAULT_TIME_LIMIT_S,
+    jobs: int = 1,
+    timer: StageTimer | None = None,
+) -> ScheduleResult:
+    """Step 1 + step 2 from an explicit candidate set and pattern ranges.
+
+    Extracted core of :func:`optimize_schedule` so the rescheduling engine
+    can inject delta-patched candidates/ranges instead of the cached
+    artifacts derived from a :class:`DetectionData`; behaviour is
+    bit-identical to the inline code it replaces.
+    """
+    candidates = list(cand_set.candidates)
 
     # ------------------------------------------------------------------
     # Step 1: minimal frequency selection.
@@ -360,7 +384,7 @@ def optimize_schedule(
         if jobs == 1 or len(dropping) <= 1:
             for cand, fault_set in dropping:
                 entries.extend(_solve_period(
-                    data.ranges, cand.time, fault_set, configs, solver,
+                    pattern_ranges, cand.time, fault_set, configs, solver,
                     time_limit))
         else:
             import multiprocessing as mp
@@ -369,7 +393,7 @@ def optimize_schedule(
                 ctx = mp.get_context("fork")
             else:  # pragma: no cover - platform-dependent
                 ctx = mp.get_context()
-            init_args = (data.ranges, configs, solver, time_limit)
+            init_args = (pattern_ranges, configs, solver, time_limit)
             jobs_list = [(cand.time, fault_set)
                          for cand, fault_set in dropping]
             with ctx.Pool(processes=min(jobs, len(jobs_list)),

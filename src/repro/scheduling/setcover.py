@@ -35,7 +35,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
-from repro.utils.bitset import mask_bits
+from repro.utils.bitset import mask_bits, masks_to_matrix
 from repro.utils.profiling import StageTimer
 
 #: Default wall-clock limit per ILP, mirroring the paper's 1 h timeout but
@@ -117,37 +117,128 @@ class CoverProblem:
         return frozenset(out)
 
 
-def greedy_cover(problem: CoverProblem, *, coverage: float = 1.0) -> list[int]:
-    """Classic greedy heuristic: repeatedly pick the subset covering the most
-    still-uncovered elements (the [17]-style baseline).
+def greedy_cover_masks(masks: Sequence[int], universe: int,
+                       need: int | None = None) -> list[int]:
+    """Greedy cover on raw int bitmasks (shared deterministic core).
 
-    Runs on the packed bitmasks with popcount scoring; selection order and
-    tie-breaking (lowest index on equal gain) are identical to the seed
-    set-based implementation, which lives on as
-    :func:`repro.scheduling.reference.greedy_cover_reference`.
+    Tie-breaking is *explicitly* deterministic: candidates are ranked by
+    ``(gain, -index)`` and the maximum wins, i.e. highest popcount gain
+    first, lowest subset index among equals — independent of the order in
+    which the caller's container happens to iterate.  Returns subset
+    indices in ascending order; raises when the requested count cannot be
+    reached.  ``need`` defaults to full coverage of ``universe``.
     """
-    need = problem.required_count(coverage)
-    p = problem.packed()
-    uncovered = p.full
+    if need is None:
+        need = universe.bit_count()
+    uncovered = universe
     chosen: list[int] = []
-    remaining = [(j, m & uncovered) for j, m in enumerate(p.masks)]
+    remaining = [(j, m & uncovered) for j, m in enumerate(masks)]
     covered_count = 0
     while covered_count < need:
-        j_best, gain_best = -1, 0
-        for j, m in remaining:
-            gain = m.bit_count()
-            if gain > gain_best:
-                j_best, gain_best = j, gain
-        if j_best < 0:
+        if not remaining:
+            raise RuntimeError("greedy cover stalled before reaching coverage")
+        j_best, gain_neg = max(
+            remaining, key=lambda jm: (jm[1].bit_count(), -jm[0]))
+        gain_best = gain_neg.bit_count()
+        if gain_best == 0:
             raise RuntimeError("greedy cover stalled before reaching coverage")
         chosen.append(j_best)
-        newly = next(m for j, m in remaining if j == j_best)
         covered_count += gain_best
-        uncovered &= ~newly
+        uncovered &= ~gain_neg
         remaining = [(j, m & uncovered) for j, m in remaining
                      if j != j_best and m & uncovered]
     chosen.sort()
     return chosen
+
+
+def greedy_cover(problem: CoverProblem, *, coverage: float = 1.0) -> list[int]:
+    """Classic greedy heuristic: repeatedly pick the subset covering the most
+    still-uncovered elements (the [17]-style baseline).
+
+    Runs on the packed bitmasks with popcount scoring via
+    :func:`greedy_cover_masks`; selection order and tie-breaking (highest
+    gain, then lowest index) are identical to the seed set-based
+    implementation, which lives on as
+    :func:`repro.scheduling.reference.greedy_cover_reference` — but the
+    tie-break is now an explicit ``(gain, -index)`` sort key instead of
+    relying on scan order, so warm-start equivalence tests are stable
+    across platforms and container orderings.
+    """
+    p = problem.packed()
+    return greedy_cover_masks(p.masks, p.full,
+                              need=problem.required_count(coverage))
+
+
+def independent_rows_bound(masks: Sequence[int], universe: int) -> int:
+    """Combinatorial lower bound on the full-coverage optimum.
+
+    Greedily collects *independent* elements — no two share a covering
+    subset — rarest-covered first.  Every cover spends a distinct subset
+    per independent element, so their count bounds the optimum from
+    below.  On the interval-structured cover problems the scheduler
+    produces, the bound is routinely tight, which lets the rescheduling
+    engine certify a repaired previous solution as optimal without
+    touching the ILP (see :mod:`repro.scheduling.resched`).  Deterministic:
+    ties are broken by lowest element bit.
+    """
+    covering: dict[int, list[int]] = {}
+    for cm in masks:
+        m = cm & universe
+        while m:
+            e = m & -m
+            m ^= e
+            covering.setdefault(e, []).append(cm)
+    order = sorted(covering, key=lambda e: (len(covering[e]), e))
+    remaining = universe
+    bound = 0
+    for e in order:
+        if not remaining & e:
+            continue
+        union = 0
+        for cm in covering[e]:
+            union |= cm
+        remaining &= ~union
+        bound += 1
+    # Elements no subset covers cannot raise a *feasible* optimum's bound;
+    # callers only certify against feasible covers, so ignore them.
+    return bound
+
+
+def independent_rows_bound_matrix(matrix: np.ndarray) -> int:
+    """:func:`independent_rows_bound` over a packed bit matrix.
+
+    Same greedy, same tie-breaking (rarest element first, lowest bit on
+    ties), but vectorized: one ``unpackbits`` gives the element-by-column
+    incidence, so each of the ≤ *bound* iterations is a masked column
+    reduction instead of a Python scan over all masks.  The universe is
+    the union of the rows — the only way the scheduler calls the bound.
+    """
+    if matrix.shape[0] == 0:
+        return 0
+    inc = np.unpackbits(np.ascontiguousarray(matrix).view(np.uint8),
+                        axis=1, bitorder="little").astype(bool)
+    counts = inc.sum(axis=0)
+    present = np.flatnonzero(counts)
+    if present.size == 0:
+        return 0
+    order = present[np.argsort(counts[present], kind="stable")]
+    remaining = counts > 0
+    bound = 0
+    for e in order:
+        if not remaining[e]:
+            continue
+        union = inc[inc[:, e]].any(axis=0)
+        remaining &= ~union
+        bound += 1
+    return bound
+
+
+def independent_rows_bound_masks(masks: Sequence[int], n_bits: int) -> int:
+    """:func:`independent_rows_bound_matrix` for int-mask subproblems
+    whose universe is the union of the masks (step-2 covers)."""
+    if not masks or n_bits <= 0:
+        return 0
+    return independent_rows_bound_matrix(masks_to_matrix(masks, n_bits))
 
 
 # ----------------------------------------------------------------------
@@ -164,46 +255,43 @@ class PresolveReduction:
     masks restricted to the component, and the component's element mask.
     An empty ``components`` list means presolve solved the instance
     outright.  ``stats`` counts eliminations per rule.
+
+    ``column_masks`` / ``dominators`` feed the warm-start path of the
+    rescheduling engine: the original packed column masks, and the
+    dominance *witnesses* ``(dropped_mask, keeper_mask)`` recorded the
+    first time rule 1 ran (mask values, not indices, so they survive
+    column renumbering between re-solves).  Both default empty so
+    hand-built reductions stay valid.
     """
 
     forced: tuple[int, ...]
     components: tuple[tuple[tuple[int, ...], tuple[int, ...], int], ...]
     stats: dict[str, int]
+    column_masks: tuple[int, ...] = ()
+    dominators: tuple[tuple[int, int], ...] = ()
 
     @property
     def solved(self) -> bool:
         return not self.components
 
 
-def presolve_cover(problem: CoverProblem) -> PresolveReduction:
-    """Lossless full-coverage reduction of a set-covering instance.
-
-    Iterates three rules to a fixpoint, then splits what remains into
-    connected components:
-
-    1. **Dominated/duplicate columns** — drop subset ``j`` when its
-       remaining elements are contained in subset ``k``'s (first index wins
-       among equals).  Any cover using ``j`` swaps in ``k`` at equal
-       cardinality, so some minimum cover survives the deletion.
-    2. **Essential columns** — an element covered by exactly one surviving
-       subset forces that subset into *every* cover; take it and delete
-       its elements.
-    3. **Duplicate rows** — elements covered by identical subset
-       collections impose identical constraints; collapsing them changes
-       nothing (applied when building the ILP matrix, via the component
-       element masks).
-
-    Connected-component splitting is exact because the constraint matrix
-    is block-diagonal over components: a cover of the union is the
-    disjoint union of covers, so the minima add.
+def _presolve_masks(masks: Sequence[int], full: int,
+                    skip: frozenset[int] = frozenset(),
+                    warm_dropped: int = 0) -> PresolveReduction:
+    """Fixpoint core shared by :func:`presolve_cover` (cold) and
+    :func:`presolve_cover_warm` (columns in ``skip`` are pre-dropped by a
+    re-verified dominance witness and never enter the fixpoint).
     """
-    p = problem.packed()
-    alive: dict[int, int] = {j: m for j, m in enumerate(p.masks) if m}
-    uncovered = p.full
+    alive: dict[int, int] = {j: m for j, m in enumerate(masks)
+                             if m and j not in skip}
+    uncovered = full
     forced: list[int] = []
     stats = {"dominated_columns": 0, "essential_columns": 0,
-             "duplicate_rows": 0, "components": 0}
+             "duplicate_rows": 0, "components": 0,
+             "warm_dropped_columns": warm_dropped}
+    witnesses: list[tuple[int, int]] = []
 
+    first_pass = True
     changed = True
     while changed and uncovered:
         changed = False
@@ -213,12 +301,19 @@ def presolve_cover(problem: CoverProblem) -> PresolveReduction:
         kept: list[int] = []
         for j in order:
             m = alive[j]
-            if any(m & ~alive[k] == 0 for k in kept):
+            keeper = next((k for k in kept if m & ~alive[k] == 0), None)
+            if keeper is not None:
+                if first_pass:
+                    # Masks are still the caller's originals on the first
+                    # pass, so (value, value) witnesses are replayable
+                    # against a future problem over the same element order.
+                    witnesses.append((m, alive[keeper]))
                 del alive[j]
                 stats["dominated_columns"] += 1
                 changed = True
             else:
                 kept.append(j)
+        first_pass = False
         # Rule 2: essential columns — count covering subsets per element.
         count: dict[int, int] = {}
         only: dict[int, int] = {}
@@ -270,17 +365,89 @@ def presolve_cover(problem: CoverProblem) -> PresolveReduction:
 
     forced.sort()
     return PresolveReduction(forced=tuple(forced),
-                             components=tuple(components), stats=stats)
+                             components=tuple(components), stats=stats,
+                             column_masks=tuple(masks),
+                             dominators=tuple(witnesses))
+
+
+def presolve_cover(problem: CoverProblem) -> PresolveReduction:
+    """Lossless full-coverage reduction of a set-covering instance.
+
+    Iterates three rules to a fixpoint, then splits what remains into
+    connected components:
+
+    1. **Dominated/duplicate columns** — drop subset ``j`` when its
+       remaining elements are contained in subset ``k``'s (first index wins
+       among equals).  Any cover using ``j`` swaps in ``k`` at equal
+       cardinality, so some minimum cover survives the deletion.
+    2. **Essential columns** — an element covered by exactly one surviving
+       subset forces that subset into *every* cover; take it and delete
+       its elements.
+    3. **Duplicate rows** — elements covered by identical subset
+       collections impose identical constraints; collapsing them changes
+       nothing (applied when building the ILP matrix, via the component
+       element masks).
+
+    Connected-component splitting is exact because the constraint matrix
+    is block-diagonal over components: a cover of the union is the
+    disjoint union of covers, so the minima add.
+    """
+    p = problem.packed()
+    return _presolve_masks(p.masks, p.full)
+
+
+def presolve_cover_warm(problem: CoverProblem,
+                        prev: PresolveReduction) -> PresolveReduction:
+    """Warm-started presolve: replay ``prev``'s dominance witnesses first.
+
+    Each witness is a ``(dropped_mask, keeper_mask)`` value pair from a
+    previous :func:`presolve_cover` over the *same element ordering* (the
+    rescheduling engine guarantees this — the fault universe is constant
+    across deltas).  A witness is replayed only after re-verifying, on the
+    NEW masks, that (a) a column with the keeper's mask value still exists
+    and (b) containment ``dropped & ~keeper == 0`` still holds — an O(1)
+    check per witness — so every pre-dropped column is dominated *in the
+    new problem* and the reduction stays unconditionally lossless even
+    against a stale or mismatched witness list.  Columns untouched by the
+    delta typically re-verify wholesale, skipping most of the quadratic
+    rule-1 scan; the normal fixpoint then runs on the survivors and picks
+    up any dominance the delta newly created.
+    """
+    p = problem.packed()
+    cols_by_value: dict[int, list[int]] = {}
+    for j, m in enumerate(p.masks):
+        if m:
+            cols_by_value.setdefault(m, []).append(j)
+    skip: set[int] = set()
+    for dropped_mask, keeper_mask in prev.dominators:
+        keepers = cols_by_value.get(keeper_mask)
+        if not keepers:
+            continue
+        if dropped_mask == keeper_mask:
+            # Duplicate-column witness: keep the lowest index of the value.
+            skip.update(keepers[1:])
+            continue
+        if dropped_mask & ~keeper_mask:
+            continue        # containment no longer holds; witness is stale
+        keeper = keepers[0]
+        for j in cols_by_value.get(dropped_mask, ()):
+            if j != keeper:
+                skip.add(j)
+    return _presolve_masks(p.masks, p.full, skip=frozenset(skip),
+                           warm_dropped=len(skip))
 
 
 def _milp_component(cols: Sequence[int], masks: Sequence[int],
                     uncovered: int, time_limit: float,
-                    stats: dict[str, int] | None = None) -> list[int] | None:
+                    stats: dict[str, int] | None = None,
+                    ub: int | None = None) -> list[int] | None:
     """Exact minimum cover of one presolved component via HiGHS.
 
     Duplicate rows (rule 3) are collapsed here: elements with identical
-    covering-column signatures produce one constraint.  Returns original
-    column indices, or None when HiGHS yields no incumbent.
+    covering-column signatures produce one constraint.  ``ub`` adds a
+    cardinality cut ``Σ x ≤ ub`` from a known feasible solution (lossless:
+    the optimum can only be smaller).  Returns original column indices, or
+    None when HiGHS yields no incumbent.
     """
     elements = mask_bits(uncovered)
     # Signature of an element = the set of local columns covering it.
@@ -301,13 +468,54 @@ def _milp_component(cols: Sequence[int], masks: Sequence[int],
             cols_idx.append(c)
     a_cover = sparse.csr_matrix(
         (np.ones(len(rows_idx)), (rows_idx, cols_idx)), shape=(n_el, n_sub))
+    constraints = [LinearConstraint(a_cover, lb=1.0, ub=np.inf)]
+    if ub is not None:
+        constraints.append(LinearConstraint(
+            np.ones((1, n_sub)), lb=0.0, ub=float(ub)))
     res = milp(c=np.ones(n_sub),
-               constraints=[LinearConstraint(a_cover, lb=1.0, ub=np.inf)],
+               constraints=constraints,
                bounds=Bounds(0, 1), integrality=np.ones(n_sub),
                options={"time_limit": time_limit, "presolve": True})
     if res.x is None:
         return None
     return [cols[c] for c in range(n_sub) if res.x[c] > 0.5]
+
+
+def solve_reduction(red: PresolveReduction,
+                    time_limit: float = DEFAULT_TIME_LIMIT_S, *,
+                    cuts: bool = False) -> list[int] | None:
+    """Solve a :class:`PresolveReduction` to a provably minimum cover.
+
+    Forced columns are taken as-is; each independent component is solved
+    exactly by HiGHS.  With ``cuts=True`` (the rescheduling warm path)
+    every component first computes a greedy incumbent and the covering
+    lower bound ``⌈|elements| / max column popcount⌉``; when they meet,
+    the greedy picks are returned without invoking the ILP (exact — the
+    incumbent matches a valid lower bound), otherwise the incumbent's
+    cardinality is passed to :func:`_milp_component` as a cut.  Both uses
+    of the incumbent are lossless, so ``cuts`` never changes the cost.
+    Returns None when any component times out without an incumbent
+    (caller falls back to greedy, matching :func:`ilp_cover`).
+    """
+    chosen = list(red.forced)
+    for cols, masks, comp_mask in red.components:
+        ub: int | None = None
+        if cuts:
+            g_local = greedy_cover_masks(masks, comp_mask)
+            largest = max(m.bit_count() for m in masks)
+            lb = math.ceil(comp_mask.bit_count() / largest)
+            if len(g_local) <= lb:
+                red.stats["early_exit_components"] = (
+                    red.stats.get("early_exit_components", 0) + 1)
+                chosen.extend(cols[c] for c in g_local)
+                continue
+            ub = len(g_local)
+        picks = _milp_component(cols, masks, comp_mask, time_limit,
+                                red.stats, ub=ub)
+        if picks is None:
+            return None
+        chosen.extend(picks)
+    return chosen
 
 
 def ilp_cover(problem: CoverProblem, *, coverage: float = 1.0,
@@ -344,14 +552,9 @@ def ilp_cover(problem: CoverProblem, *, coverage: float = 1.0,
                 red = presolve_cover(problem)
         else:
             red = presolve_cover(problem)
-        chosen = list(red.forced)
-        for cols, masks, comp_mask in red.components:
-            picks = _milp_component(cols, masks, comp_mask, time_limit,
-                                    red.stats)
-            if picks is None:
-                chosen = None       # timeout: greedy fallback on the whole
-                break
-            chosen.extend(picks)
+        # cuts stay off here so the seed ILP path is bit-identical; the
+        # rescheduling engine opts in via solve_reduction(cuts=True).
+        chosen = solve_reduction(red, time_limit)
     elif full_coverage:
         chosen = _milp_seed_full(problem, time_limit)
     elif presolve:

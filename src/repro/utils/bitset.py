@@ -95,6 +95,10 @@ def is_subset(row: np.ndarray, matrix: np.ndarray) -> np.ndarray:
     return ~np.any(row & ~matrix, axis=1)
 
 
+#: Soft cap (bytes) of the temporary in one dominated_rows chunk test.
+_DOM_CHUNK_BYTES = 8 << 20
+
+
 def dominated_rows(matrix: np.ndarray, order: Sequence[int]) -> list[int]:
     """Indices (into ``matrix``) of rows *not* dominated, scanning ``order``.
 
@@ -102,19 +106,83 @@ def dominated_rows(matrix: np.ndarray, order: Sequence[int]) -> list[int]:
     bits (ties included: a duplicate of a kept row is dropped).  ``order``
     fixes the priority — earlier entries win — and the returned kept list
     preserves that scan order.
+
+    Implementation: rows are screened in chunks against the kept stack
+    with one vectorized subset test per chunk (equivalent to the per-row
+    scan: a row that is a subset of any *earlier* row is a subset of an
+    earlier *kept* row by transitivity of ⊆, so stack survivors only need
+    comparing against survivors added within their own chunk).
     """
     kept: list[int] = []
-    if matrix.shape[0] == 0:
+    n = len(order)
+    if matrix.shape[0] == 0 or n == 0:
         return kept
-    stack = np.empty((len(order), matrix.shape[1]), dtype=np.uint64)
+    w = matrix.shape[1]
+    order = np.asarray(order, dtype=np.int64)
+    rows_all = matrix[order]
+    # One-word signature (OR-fold of the words): row_i ⊆ row_j holds per
+    # word, so sig_i ⊆ sig_j is necessary — a cheap screen that discards
+    # almost every pair before the full-width test.  When the fold
+    # saturates (rows with bits spread over many words) the screen stops
+    # discriminating, so fall back to the dense broadcast test outright.
+    if w > 1:
+        sigs_all = np.bitwise_or.reduce(rows_all, axis=1)
+        use_sigs = float(popcount(sigs_all[:, None]).mean()) <= 48.0
+    else:
+        sigs_all = rows_all[:, 0]
+        use_sigs = False
+    stack = np.empty((n, w), dtype=np.uint64)
+    stack_sigs = np.empty(n, dtype=np.uint64)
     k = 0
-    for idx in order:
-        row = matrix[idx]
-        if k and bool(np.any(~np.any(row & ~stack[:k], axis=1))):
-            continue
-        stack[k] = row
-        k += 1
-        kept.append(idx)
+    if use_sigs:
+        chunk = int(min(1024, max(32, _DOM_CHUNK_BYTES // max(1, n * 8))))
+    else:
+        chunk = int(min(512, max(1, _DOM_CHUNK_BYTES
+                                 // max(1, n * w * 8))))
+    for a in range(0, n, chunk):
+        rows = rows_all[a:a + chunk]
+        sigs = sigs_all[a:a + chunk]
+        local = np.arange(rows.shape[0])
+        if k:
+            dominated = np.zeros(rows.shape[0], dtype=bool)
+            if use_sigs:
+                # Candidate pairs by signature, then full-width
+                # verification of only those pairs.
+                ci, cj = np.nonzero(
+                    ~(sigs[:, None] & ~stack_sigs[None, :k]).astype(bool))
+                if ci.size:
+                    sub = ~np.any(rows[ci] & ~stack[cj], axis=1)
+                    dominated[ci[sub]] = True
+            else:
+                dominated = np.any(
+                    ~np.any(rows[:, None, :] & ~stack[None, :k, :],
+                            axis=2), axis=1)
+            rows = rows[~dominated]
+            sigs = sigs[~dominated]
+            local = local[~dominated]
+        if rows.shape[0] > 1:
+            # Within-chunk: subset of any strictly-earlier survivor (the
+            # same transitivity argument collapses kept-only to earlier).
+            dominated = np.zeros(rows.shape[0], dtype=bool)
+            if use_sigs:
+                ci, cj = np.nonzero(
+                    ~(sigs[:, None] & ~sigs[None, :]).astype(bool))
+                earlier = cj < ci
+                ci, cj = ci[earlier], cj[earlier]
+                if ci.size:
+                    sub = ~np.any(rows[ci] & ~rows[cj], axis=1)
+                    dominated[ci[sub]] = True
+            else:
+                sub = ~np.any(rows[:, None, :] & ~rows[None, :, :], axis=2)
+                dominated = np.tril(sub, k=-1).any(axis=1)
+            rows = rows[~dominated]
+            local = local[~dominated]
+        m = rows.shape[0]
+        if m:
+            stack[k:k + m] = rows
+            stack_sigs[k:k + m] = sigs_all[a + local]
+            k += m
+            kept.extend((order[a + local]).tolist())
     return kept
 
 

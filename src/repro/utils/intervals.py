@@ -242,10 +242,19 @@ class IntervalSet:
     # FAST-specific transformations
     # ------------------------------------------------------------------
     def shifted(self, d: float) -> "IntervalSet":
-        """Translate every interval by ``d`` (Sec. III-B, ``I_SR = I_FF + d``)."""
+        """Translate every interval by ``d`` (Sec. III-B, ``I_SR = I_FF + d``).
+
+        Translation preserves ordering, disjointness and lengths, so the
+        canonical form survives and the constructor's sort-and-merge pass
+        is skipped — this sits on the hot path of detection-range unions
+        and of the rescheduling engine's per-pattern overlays.
+        """
         if d == 0.0 or self.is_empty:
             return self
-        return IntervalSet(iv.shifted(d) for iv in self._ivals)
+        out = object.__new__(IntervalSet)
+        object.__setattr__(out, "_ivals",
+                           tuple(iv.shifted(d) for iv in self._ivals))
+        return out
 
     def clipped(self, lo: float, hi: float) -> "IntervalSet":
         """Restrict the set to the observable window ``[lo, hi]``."""

@@ -20,16 +20,18 @@ def _fresh_shim_warnings():
 
 class TestRegistry:
     def test_default_registry_contents(self):
-        assert ENGINES.stages() == ("aging", "atpg", "schedule",
-                                    "simulation")
+        assert ENGINES.stages() == ("aging", "atpg", "resched",
+                                    "schedule", "simulation")
         assert ENGINES.names("atpg") == ("matrix", "reference")
         assert ENGINES.names("simulation") == (
             "incremental", "reference", "wordwave")
         assert ENGINES.names("aging") == ("reference", "vectorized")
+        assert ENGINES.names("resched") == ("cold", "incremental")
         assert ENGINES.default("atpg") == "matrix"
         assert ENGINES.default("simulation") == "wordwave"
         assert ENGINES.default("schedule") == "bitset"
         assert ENGINES.default("aging") == "vectorized"
+        assert ENGINES.default("resched") == "incremental"
 
     def test_resolve_default_and_named(self):
         assert ENGINES.resolve("atpg").name == "matrix"
@@ -42,7 +44,8 @@ class TestRegistry:
 
     def test_unknown_stage_lists_stages(self):
         with pytest.raises(ValueError,
-                           match="aging, atpg, schedule, simulation"):
+                           match="aging, atpg, resched, schedule, "
+                                 "simulation"):
             ENGINES.resolve("frobnicate")
 
     def test_duplicate_registration_rejected(self):
@@ -66,11 +69,13 @@ class TestFlowConfigSelection:
     def test_defaults_normalized(self):
         cfg = FlowConfig()
         assert cfg.engines == (("aging", "vectorized"), ("atpg", "matrix"),
+                               ("resched", "incremental"),
                                ("schedule", "bitset"),
                                ("simulation", "wordwave"))
         assert cfg.engine_for("atpg") == "matrix"
         assert cfg.engine_for("simulation") == "wordwave"
         assert cfg.engine_for("aging") == "vectorized"
+        assert cfg.engine_for("resched") == "incremental"
 
     def test_explicit_selection(self):
         cfg = FlowConfig(engines=(("atpg", "reference"),))

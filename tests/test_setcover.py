@@ -222,3 +222,99 @@ def test_property_partial_solvers_agree(p, coverage):
         assert len(p.covered_by(chosen)) >= need
     assert len(exact_ilp) == len(exact_bb)
     assert len(exact_ilp) <= len(heur)
+
+
+# ----------------------------------------------------------------------
+# Certificate machinery of the rescheduling engine: lower bounds, the
+# deterministic greedy core, and the warm-started presolve must stay
+# sound on arbitrary problems — they are what lets an incremental
+# re-solve skip the ILP without ever changing the answer.
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(random_problems())
+def test_property_bound_variants_agree(p):
+    """Int-mask, matrix and masks-wrapper bounds are the same function."""
+    from repro.scheduling.setcover import (
+        independent_rows_bound,
+        independent_rows_bound_masks,
+        independent_rows_bound_matrix,
+    )
+    from repro.utils.bitset import masks_to_matrix
+
+    packed = p.packed()
+    n_bits = len(packed.elements)
+    scalar = independent_rows_bound(packed.masks, packed.full)
+    assert scalar == independent_rows_bound_masks(packed.masks, n_bits)
+    assert scalar == independent_rows_bound_matrix(
+        masks_to_matrix(packed.masks, n_bits))
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_problems())
+def test_property_bound_never_exceeds_optimum(p):
+    """The certificate is sound: bound <= exact optimum, and >= 1."""
+    from repro.scheduling.setcover import independent_rows_bound
+
+    packed = p.packed()
+    bound = independent_rows_bound(packed.masks, packed.full)
+    assert 1 <= bound <= len(branch_and_bound_cover(p))
+
+
+class TestGreedyMasks:
+    def test_tie_break_prefers_lowest_index(self):
+        from repro.scheduling.setcover import greedy_cover_masks
+
+        # Subsets 0 and 1 offer the same gain; the deterministic
+        # (gain, -index) rank must pick subset 0 regardless of order.
+        assert greedy_cover_masks([0b011, 0b011, 0b100], 0b111) == [0, 2]
+        assert greedy_cover_masks([0b100, 0b011, 0b011], 0b111) == [0, 1]
+
+    def test_need_short_circuits(self):
+        from repro.scheduling.setcover import greedy_cover_masks
+
+        assert greedy_cover_masks([0b11, 0b100], 0b111, need=2) == [0]
+
+    def test_infeasible_raises(self):
+        from repro.scheduling.setcover import greedy_cover_masks
+
+        with pytest.raises(RuntimeError, match="stalled"):
+            greedy_cover_masks([0b01], 0b11)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_problems(), random_problems())
+def test_property_warm_presolve_lossless_even_when_stale(p_prev, p_new):
+    """Witnesses from an unrelated problem never change the optimum.
+
+    The rescheduling engine replays dominance witnesses from the previous
+    delta; the warm presolve re-verifies each on the new masks, so even a
+    deliberately mismatched witness list (here: from an independently
+    drawn problem) must leave the reduction lossless.
+    """
+    from repro.scheduling.setcover import (
+        presolve_cover,
+        presolve_cover_warm,
+        solve_reduction,
+    )
+
+    prev = presolve_cover(p_prev)
+    warm = presolve_cover_warm(p_new, prev)
+    chosen = solve_reduction(warm)
+    assert p_new.covered_by(chosen) >= p_new.universe
+    assert len(chosen) == len(branch_and_bound_cover(p_new))
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_problems())
+def test_property_warm_presolve_self_witness_matches_cold(p):
+    """Replaying a problem's own witnesses reproduces the cold reduction's
+    optimum (the steady-state path of an unchanged delta)."""
+    from repro.scheduling.setcover import (
+        presolve_cover,
+        presolve_cover_warm,
+        solve_reduction,
+    )
+
+    cold = presolve_cover(p)
+    warm = presolve_cover_warm(p, cold)
+    assert len(solve_reduction(warm)) == len(solve_reduction(cold))

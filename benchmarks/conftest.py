@@ -67,6 +67,13 @@ BENCH_RESCHED_FILE = (Path(__file__).resolve().parent.parent
 BENCH_SUITE_FILE = (Path(__file__).resolve().parent.parent
                     / "BENCH_suite.json")
 
+#: Machine-readable job-service replay baseline: written by
+#: test_bench_service.py (cold JobSpec execution vs the all-stages-hit
+#: resubmission replay through the facade), consumed by the perf smoke
+#: test and by ``repro bench --stage service``.
+BENCH_SERVICE_FILE = (Path(__file__).resolve().parent.parent
+                      / "BENCH_service.json")
+
 
 def _suite_config(**overrides) -> SuiteRunConfig:
     if _PROFILE == "full":

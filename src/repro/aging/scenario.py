@@ -1,149 +1,19 @@
-"""Declarative aging-scenario files.
+"""Declarative aging-scenario files (re-export shim).
 
-``repro aging --scenario s.json`` and ``repro fleet --scenario s.json`` both
-consume one dataclass-backed schema describing *everything random or
-physical* about a lifetime study: the degradation-law parameters, the
-per-gate stress spread, the per-device process variation, the Weibull
-hazard mixture behind the population lifetimes, the lifetime checkpoints
-and every seed.  Serialising the spec (rather than passing a dozen CLI
-flags) makes fleet runs reproducible and gives the stage cache a stable
-fingerprint to key artifacts on.
+The scenario schema lives in :mod:`repro.core.spec` since the request
+surfaces were unified into one typed JobSpec layer; this module keeps the
+historical import path working.  ``repro aging --scenario s.json`` and
+``repro fleet --scenario s.json`` consume the same dataclass-backed
+schema describing *everything random or physical* about a lifetime
+study — see :class:`repro.core.spec.ScenarioSpec`.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-from dataclasses import asdict, dataclass, field, replace
-from pathlib import Path
+from repro.core.spec import (
+    DEFAULT_CHECKPOINTS,
+    ScenarioSpec,
+    VariationSpec,
+)
 
-from repro.aging.degradation import AgingScenario, BtiModel, EmModel, HciModel
-from repro.aging.hazard import WeibullHazard, WeibullMixture
-
-#: Default lifetime checkpoints (geometric sweep, lifetime units).
-DEFAULT_CHECKPOINTS = tuple(0.25 * 2 ** (k / 2.0) for k in range(14))
-
-
-@dataclass(frozen=True)
-class VariationSpec:
-    """Per-device process spread of the degradation-law amplitudes.
-
-    Each device draws one lognormal multiplier per mechanism
-    (``exp(N(0, sigma))``), modeling die-to-die process variation of the
-    BTI/HCI/EM susceptibility.
-    """
-
-    bti_sigma: float = 0.15
-    hci_sigma: float = 0.20
-    em_sigma: float = 0.25
-
-    def __post_init__(self) -> None:
-        for name in ("bti_sigma", "hci_sigma", "em_sigma"):
-            if getattr(self, name) < 0.0:
-                raise ValueError(f"{name} must be non-negative")
-
-
-@dataclass(frozen=True)
-class ScenarioSpec:
-    """Complete description of a (fleet) lifetime study.
-
-    ``seed`` drives the population draws (process variation, lifetimes,
-    weak-gate selection); ``gate_seed`` drives the deterministic per-gate
-    stress/activity/current factors of the underlying
-    :class:`~repro.aging.degradation.AgingScenario`.
-    """
-
-    bti: BtiModel = field(default_factory=BtiModel)
-    hci: HciModel = field(default_factory=HciModel)
-    em: EmModel = field(default_factory=EmModel)
-    stress_spread: float = 0.5
-    variation: VariationSpec = field(default_factory=VariationSpec)
-    hazard: WeibullMixture = field(default_factory=WeibullMixture.bathtub)
-    checkpoints: tuple[float, ...] = DEFAULT_CHECKPOINTS
-    #: Weak (marginal-defect) gates injected into infant-mortality devices.
-    infant_weak_gates: int = 2
-    #: Clamp of the per-device aging time-scale tau = wearout_scale / L.
-    tau_min: float = 0.25
-    tau_max: float = 8.0
-    #: Operating clock period as a multiple of the t=0 critical path (the
-    #: design's timing margin the degradation has to eat through).
-    clock_margin: float = 1.15
-    gate_seed: int = 0
-    seed: int = 0
-
-    def __post_init__(self) -> None:
-        if not self.checkpoints:
-            raise ValueError("scenario needs at least one checkpoint")
-        if list(self.checkpoints) != sorted(self.checkpoints):
-            raise ValueError("checkpoints must be ascending")
-        if self.checkpoints[0] <= 0.0:
-            raise ValueError("checkpoints must be positive")
-        if self.infant_weak_gates < 0:
-            raise ValueError("infant_weak_gates must be non-negative")
-        if not 0.0 < self.tau_min <= self.tau_max:
-            raise ValueError("need 0 < tau_min <= tau_max")
-        if self.clock_margin < 1.0:
-            raise ValueError("clock_margin must be >= 1")
-
-    # ------------------------------------------------------------------
-    # Derived objects
-    # ------------------------------------------------------------------
-    def aging_scenario(self) -> AgingScenario:
-        """The per-gate degradation scenario this spec describes."""
-        return AgingScenario(bti=self.bti, hci=self.hci, em=self.em,
-                             seed=self.gate_seed,
-                             stress_spread=self.stress_spread)
-
-    def with_seed(self, seed: int) -> "ScenarioSpec":
-        return replace(self, seed=seed)
-
-    # ------------------------------------------------------------------
-    # Serialisation
-    # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
-        d = asdict(self)
-        d["checkpoints"] = list(self.checkpoints)
-        d["hazard"] = {
-            "components": [asdict(c) for c in self.hazard.components],
-            "weights": list(self.hazard.weights),
-        }
-        return d
-
-    @classmethod
-    def from_dict(cls, data: dict) -> "ScenarioSpec":
-        known = {f for f in cls.__dataclass_fields__}
-        unknown = set(data) - known
-        if unknown:
-            raise ValueError(
-                f"unknown scenario fields: {', '.join(sorted(unknown))}")
-        kwargs: dict = dict(data)
-        for name, model_cls in (("bti", BtiModel), ("hci", HciModel),
-                                ("em", EmModel)):
-            if name in kwargs and isinstance(kwargs[name], dict):
-                kwargs[name] = model_cls(**kwargs[name])
-        if "variation" in kwargs and isinstance(kwargs["variation"], dict):
-            kwargs["variation"] = VariationSpec(**kwargs["variation"])
-        if "hazard" in kwargs and isinstance(kwargs["hazard"], dict):
-            h = kwargs["hazard"]
-            kwargs["hazard"] = WeibullMixture(
-                components=tuple(WeibullHazard(**c)
-                                 for c in h["components"]),
-                weights=tuple(h["weights"]),
-            )
-        if "checkpoints" in kwargs:
-            kwargs["checkpoints"] = tuple(kwargs["checkpoints"])
-        return cls(**kwargs)
-
-    def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2,
-                                         sort_keys=True) + "\n")
-
-    @classmethod
-    def load(cls, path: str | Path) -> "ScenarioSpec":
-        return cls.from_dict(json.loads(Path(path).read_text()))
-
-    def fingerprint(self) -> str:
-        """Stable content hash — the stage-cache key component."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True,
-                               separators=(",", ":"))
-        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+__all__ = ["DEFAULT_CHECKPOINTS", "ScenarioSpec", "VariationSpec"]

@@ -17,11 +17,21 @@ Subcommands:
 * ``resched`` — replay an in-field monitor alert stream (JSON file or a
   ``ScenarioSpec``-driven synthetic generator) through the adaptive
   rescheduling engine and print per-alert re-solve latencies.
+* ``serve``   — start the HDF-flow service: a stdlib HTTP/JSON API over
+  the async job orchestrator (submit/status/stream/result/cancel),
+  deduping identical jobs against the shared stage store.
+* ``submit``  — send a declarative job document (``{"kind": "flow",
+  ...}``, see :mod:`repro.core.spec`) to a running service.
 * ``generate``— emit a synthetic benchmark circuit as ``.bench``.
 * ``bench``   — re-measure the perf-baseline workloads and print current
   vs committed (``BENCH_detection.json`` / ``BENCH_schedule.json`` /
-  ``BENCH_atpg.json`` / ``BENCH_resched.json`` / ``BENCH_suite.json``)
-  deltas.
+  ``BENCH_atpg.json`` / ``BENCH_resched.json`` / ``BENCH_suite.json`` /
+  ``BENCH_service.json``) deltas.
+
+The ``flow``/``tables``/``fleet``/``resched``/``suite`` verbs all build
+a typed :mod:`repro.core.spec` job and execute it through
+:func:`repro.service.orchestrator.run_job` — the same code path the
+service runs, so CLI results and service results are interchangeable.
 
 Examples::
 
@@ -32,6 +42,8 @@ Examples::
     python -m repro aging s27 --marginal 2
     python -m repro suite --profile synth --count 40 --workers 4
     python -m repro resched s9234 --alerts alerts.json --engine incremental
+    python -m repro serve --port 8732
+    python -m repro submit job.json --wait
     python -m repro generate demo.bench --gates 200 --ffs 32
     python -m repro bench --stage atpg
 """
@@ -43,28 +55,20 @@ import sys
 from pathlib import Path
 
 from repro.circuits.generators import CircuitProfile, generate_circuit
-from repro.circuits.library import PAPER_SUITE, embedded_circuit, paper_suite, suite_circuit
 from repro.core import FlowConfig, HdfTestFlow
-from repro.netlist.bench import load_bench, save_bench
+from repro.netlist.bench import save_bench
 from repro.netlist.circuit import Circuit
-from repro.netlist.verilog import load_verilog
 
 
 def _load_circuit(spec: str) -> Circuit:
     """Resolve a circuit argument: file path, embedded or suite name."""
-    path = Path(spec)
-    if path.suffix == ".bench" and path.exists():
-        return load_bench(path)
-    if path.suffix in (".v", ".sv") and path.exists():
-        return load_verilog(path)
+    from repro.core.spec import SpecError
+    from repro.service.orchestrator import resolve_circuit
+
     try:
-        return embedded_circuit(spec)
-    except KeyError:
-        pass
-    if spec in {e.name for e in PAPER_SUITE}:
-        return suite_circuit(spec)
-    raise SystemExit(f"error: cannot resolve circuit {spec!r} "
-                     f"(not a file, embedded or suite name)")
+        return resolve_circuit(spec)
+    except SpecError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _flow_config(args: argparse.Namespace) -> FlowConfig:
@@ -74,6 +78,18 @@ def _flow_config(args: argparse.Namespace) -> FlowConfig:
         pattern_cap=args.pattern_cap,
         atpg_seed=args.seed,
     )
+
+
+def _run_job(job, **options):
+    """Execute one job through the service facade, SystemExit on spec
+    errors (the CLI's error convention)."""
+    from repro.core.spec import SpecError
+    from repro.service.orchestrator import run_job
+
+    try:
+        return run_job(job, **options)
+    except SpecError as exc:
+        raise SystemExit(f"error: {exc}")
 
 
 def _recompute_from(args: argparse.Namespace) -> tuple[str, ...]:
@@ -103,16 +119,27 @@ def _print_stage_meta(meta: dict) -> None:
               f"{info['cache']}", file=sys.stderr)
 
 
+def _verbose_progress(event: dict) -> None:
+    """Facade progress events → the CLI's stderr log lines."""
+    if event.get("event") == "log":
+        print(f"  [flow] {event['message']}", file=sys.stderr)
+
+
 def cmd_flow(args: argparse.Namespace) -> int:
+    from repro.core.spec import FlowJob
     from repro.experiments.reporting import format_table
 
-    circuit = _load_circuit(args.circuit)
-    result = HdfTestFlow(circuit, _flow_config(args)).run(
-        with_schedules=True,
-        progress=(lambda m: print(f"  [flow] {m}", file=sys.stderr))
-        if args.verbose else None,
-        cache=_stage_cache(args),
-        recompute_from=_recompute_from(args))
+    job = FlowJob(circuit=args.circuit,
+                  fast_ratio=args.fast_ratio,
+                  monitor_fraction=args.monitor_fraction,
+                  pattern_cap=args.pattern_cap,
+                  atpg_seed=args.seed,
+                  with_schedules=True)
+    outcome = _run_job(job,
+                       store=_stage_cache(args),
+                       recompute_from=_recompute_from(args),
+                       progress=_verbose_progress if args.verbose else None)
+    result = outcome.value
     if args.verbose:
         _print_stage_meta(result.meta)
     print(format_table([result.table1_row()], title="HDF coverage"))
@@ -128,7 +155,7 @@ def cmd_flow(args: argparse.Namespace) -> int:
         out = Path(args.export)
         save_schedule(prop, out)
         program = write_tester_program(prop, result.configs,
-                                       circuit_name=circuit.name,
+                                       circuit_name=result.circuit.name,
                                        t_nom=result.clock.t_nom)
         out.with_suffix(".fast").write_text(program)
         print(f"exported schedule to {out} and {out.with_suffix('.fast')}")
@@ -136,25 +163,23 @@ def cmd_flow(args: argparse.Namespace) -> int:
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.circuits.library import paper_suite
+    from repro.core.spec import SuiteJob
     from repro.experiments.reporting import format_table
-    from repro.experiments.runner import SuiteRunConfig, run_suite
     from repro.experiments.table1 import table1_rows
     from repro.experiments.table2 import table2_rows
     from repro.experiments.table3 import table3_rows
 
     names = tuple(args.suite) if args.suite else tuple(
         e.name for e in paper_suite())
-    cfg = SuiteRunConfig(names=names, scale=args.scale, with_schedules=True,
-                         with_coverage_schedules=args.table3)
-    if args.jobs is not None:
-        from dataclasses import replace
-
-        cfg = replace(cfg, jobs=max(1, args.jobs))
-    recompute = _recompute_from(args)
-    if recompute:
-        # Pre-warm the in-process cache with the forced re-run; the table
-        # drivers below then reuse these results.
-        run_suite(cfg, recompute_from=recompute)
+    job = SuiteJob(names=names, scale=args.scale, with_schedules=True,
+                   with_coverage_schedules=args.table3,
+                   workers=max(1, args.jobs) if args.jobs is not None
+                   else None)
+    # The facade run warms the in-process suite cache (honoring any
+    # forced recompute); the table drivers below reuse those results.
+    _run_job(job, recompute_from=_recompute_from(args))
+    cfg = job.run_config()
     print(format_table(table1_rows(cfg), title="Table I"))
     print(format_table(table2_rows(cfg), title="Table II"))
     if args.table3:
@@ -224,18 +249,19 @@ def cmd_aging(args: argparse.Namespace) -> int:
 def cmd_fleet(args: argparse.Namespace) -> int:
     import json
 
-    from repro.aging.scenario import ScenarioSpec
-    from repro.experiments.fleet import run_fleet_study
+    from repro.core.spec import FleetJob, ScenarioSpec
     from repro.experiments.reporting import format_table
+    from repro.service.orchestrator import ENV_STORE
 
-    circuit = _load_circuit(args.circuit)
     spec = (ScenarioSpec.load(args.scenario) if args.scenario
             else ScenarioSpec())
     if args.seed is not None:
         spec = spec.with_seed(args.seed)
-    study = run_fleet_study(circuit, spec=spec, devices=args.devices,
-                            engine=args.engine, jobs=args.jobs,
-                            use_cache=False if args.no_cache else None)
+    job = FleetJob(circuit=args.circuit, scenario=spec,
+                   devices=args.devices, engine=args.engine,
+                   jobs=args.jobs)
+    outcome = _run_job(job, store=None if args.no_cache else ENV_STORE)
+    study = outcome.value
     summary = study.summary()
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -265,36 +291,23 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
-    from dataclasses import replace
-
+    from repro.core.spec import SuiteJob
     from repro.experiments.reporting import format_table
-    from repro.experiments.runner import SuiteRunConfig
-    from repro.experiments.shard import run_suite_sharded
 
-    if args.profile == "quick":
-        cfg = SuiteRunConfig.quick()
-    elif args.profile == "paper":
-        cfg = SuiteRunConfig()
-    else:
-        cfg = SuiteRunConfig.synth(args.count)
-    overrides: dict = {}
-    if args.scale is not None:
-        overrides["scale"] = args.scale
-    if args.schedules:
-        overrides["with_schedules"] = True
-    if overrides:
-        cfg = replace(cfg, **overrides)
-
+    job = SuiteJob.from_profile(
+        args.profile, count=args.count,
+        scale=args.scale,
+        with_schedules=True if args.schedules else None,
+        workers=args.workers, sharded=True)
     try:
-        report = run_suite_sharded(cfg, workers=args.workers,
-                                   ttl=args.claim_ttl,
-                                   progress=args.progress)
+        report = _run_job(job, claim_ttl=args.claim_ttl,
+                          shard_progress=args.progress).value
     except RuntimeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
     stats = report.stats
-    print(f"suite: {len(cfg.names)} circuits  profile={args.profile}  "
+    print(f"suite: {len(job.names)} circuits  profile={args.profile}  "
           f"workers={report.workers}  wall={report.wall_s:.3f}s")
     print(f"units: computed={stats.computed}  cached={stats.hits}  "
           f"reclaimed={stats.reclaimed}  "
@@ -303,7 +316,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
     if stats.stage_seconds:
         print("stages:", "  ".join(
             f"{k}={v:.3f}s" for k, v in sorted(stats.stage_seconds.items())))
-    if len(cfg.names) <= 16:
+    if len(job.names) <= 16:
         rows = [
             {"circuit": name,
              "faults": res.classification.num_faults,
@@ -323,74 +336,55 @@ def cmd_suite(args: argparse.Namespace) -> int:
 def cmd_resched(args: argparse.Namespace) -> int:
     import json
 
-    from repro.core.engines import ENGINES
-    from repro.experiments.resched import (
-        ALERT_CHECKPOINTS,
-        DEFAULT_SPEC,
-        alert_stream_for_state,
-    )
-    from repro.scheduling.resched import (
-        load_alert_stream,
-        prepare_state_for_result,
-    )
+    from repro.core.spec import ReschedJob, ScenarioSpec, SpecError
 
     try:
-        engine = ENGINES.resolve("resched", args.engine)
-    except ValueError as exc:
+        job = ReschedJob(
+            circuit=args.circuit,
+            fast_ratio=args.fast_ratio,
+            monitor_fraction=args.monitor_fraction,
+            pattern_cap=args.pattern_cap,
+            atpg_seed=args.seed,
+            engine=args.engine,
+            alerts=(ReschedJob.alerts_from_deltas(
+                _load_alert_stream(args.alerts)) if args.alerts else ()),
+            scenario=(ScenarioSpec.load(args.scenario)
+                      if args.scenario else None),
+            max_gates=args.max_gates)
+    except SpecError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    circuit = _load_circuit(args.circuit)
-    result = HdfTestFlow(circuit, _flow_config(args)).run(
-        with_schedules=False, cache=_stage_cache(args))
-    state = prepare_state_for_result(result)
-    if args.alerts:
-        alerts = load_alert_stream(args.alerts)
-    else:
-        spec = DEFAULT_SPEC
-        if args.scenario:
-            from repro.aging.scenario import ScenarioSpec
-
-            spec = ScenarioSpec.load(args.scenario)
-        alerts = alert_stream_for_state(circuit, state, spec=spec,
-                                        checkpoints=ALERT_CHECKPOINTS,
-                                        max_gates=args.max_gates)
-    base = state.schedule
-    print(f"resched: {circuit.name}  engine={engine.name}  "
-          f"alerts={len(alerts)}  targets={len(state.targets)}  "
-          f"initial: freqs={base.num_frequencies} "
-          f"entries={base.num_entries} covered={len(base.covered)}")
-    events = []
-    for k, delta in enumerate(alerts):
-        out = engine.fn(state, delta)
-        sched = out.schedule
-        path = out.fast_path or out.stats.get("step1_path", "?")
-        events.append({
-            "alert": k, "gates": sorted(delta.gates),
-            "ms": round(1000.0 * out.seconds, 3), "path": path,
-            "frequencies": sched.num_frequencies,
-            "entries": sched.num_entries, "covered": len(sched.covered),
-        })
-        if not args.json:
-            print(f"  #{k:<3d} gates={','.join(map(str, sorted(delta.gates))) or '-':<12s} "
-                  f"{1000.0 * out.seconds:8.2f} ms  {path:<18s} "
-                  f"freqs={sched.num_frequencies:<3d} "
-                  f"entries={sched.num_entries:<4d} "
-                  f"covered={len(sched.covered)}")
-    lat = sorted(e["ms"] for e in events)
-    summary = {
-        "circuit": circuit.name, "engine": engine.name,
-        "alerts": len(events),
-        "median_ms": round(lat[len(lat) // 2], 3) if lat else 0.0,
-        "max_ms": max(lat) if lat else 0.0,
-        "total_s": round(sum(lat) / 1000.0, 4),
-    }
-    if args.json:
-        print(json.dumps({"summary": summary, "events": events}, indent=2))
-    else:
+    outcome = _run_job(job, store=_stage_cache(args),
+                       recompute_from=_recompute_from(args))
+    initial = outcome.payload["initial"]
+    events = outcome.payload["events"]
+    summary = outcome.payload["summary"]
+    print(f"resched: {initial['circuit']}  "
+          f"engine={initial['engine']}  "
+          f"alerts={initial['alerts']}  "
+          f"targets={initial['targets']}  "
+          f"initial: freqs={initial['frequencies']} "
+          f"entries={initial['entries']} covered={initial['covered']}")
+    if not args.json:
+        for e in events:
+            print(f"  #{e['alert']:<3d} "
+                  f"gates={','.join(map(str, e['gates'])) or '-':<12s} "
+                  f"{e['ms']:8.2f} ms  {e['path']:<18s} "
+                  f"freqs={e['frequencies']:<3d} "
+                  f"entries={e['entries']:<4d} "
+                  f"covered={e['covered']}")
         print(f"summary: median={summary['median_ms']:.2f} ms  "
               f"max={summary['max_ms']:.2f} ms  "
               f"total={summary['total_s']:.3f} s")
+    else:
+        print(json.dumps({"summary": summary, "events": events}, indent=2))
     return 0
+
+
+def _load_alert_stream(path: str):
+    from repro.scheduling.resched import load_alert_stream
+
+    return load_alert_stream(path)
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -401,6 +395,92 @@ def cmd_generate(args: argparse.Namespace) -> int:
     circuit = generate_circuit(profile)
     save_bench(circuit, args.output)
     print(f"wrote {args.output}: {circuit.stats()}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.orchestrator import ENV_STORE
+    from repro.service.server import serve
+
+    try:
+        service = serve(host=args.host, port=args.port,
+                        store=None if args.no_cache else ENV_STORE,
+                        workers=args.workers)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"repro service listening on {service.url}  "
+          f"(workers={args.workers}, "
+          f"cache={'off' if args.no_cache else 'on'})")
+    print("POST /jobs — submit; GET /jobs/<id> /result /stream; "
+          "Ctrl-C to stop", file=sys.stderr)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        service.shutdown()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    import time
+    from urllib import error, request
+
+    try:
+        document = json.loads(Path(args.job).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read job document {args.job}: {exc}",
+              file=sys.stderr)
+        return 1
+    base = args.url.rstrip("/")
+    try:
+        req = request.Request(
+            f"{base}/jobs", data=json.dumps(document).encode(),
+            headers={"Content-Type": "application/json"}, method="POST")
+        with request.urlopen(req) as resp:
+            submitted = json.loads(resp.read())
+    except error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        print(f"error: service rejected the job ({exc.code}): {detail}",
+              file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach the service at {base}: {exc}",
+              file=sys.stderr)
+        return 1
+    job_id = submitted["id"]
+    dedup = (f"  deduped onto {submitted['dedup_of']}"
+             if submitted.get("deduped") else "")
+    print(f"submitted {job_id}  kind={submitted['kind']}  "
+          f"fingerprint={submitted['fingerprint']}{dedup}")
+    if args.stream:
+        try:
+            with request.urlopen(f"{base}/jobs/{job_id}/stream") as resp:
+                for raw in resp:
+                    line = raw.strip()
+                    if line:
+                        print(line.decode())
+        except BrokenPipeError:
+            # Downstream consumer (e.g. ``submit --stream | head``) closed
+            # stdout; the job keeps running server-side.
+            return 0
+    if args.wait or args.stream:
+        while True:
+            with request.urlopen(f"{base}/jobs/{job_id}") as resp:
+                status = json.loads(resp.read())
+            if status["state"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.2)
+        if status["state"] != "done":
+            print(f"error: job {job_id} {status['state']}: "
+                  f"{status.get('error')}", file=sys.stderr)
+            return 1
+        with request.urlopen(f"{base}/jobs/{job_id}/result") as resp:
+            result = json.loads(resp.read())
+        print(json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -527,6 +607,59 @@ def _bench_suite_rows(baseline: dict) -> list[dict]:
     return rows
 
 
+def _bench_service_rows(baseline: dict) -> list[dict]:
+    """Re-measure the committed service workload (cold + cached replay).
+
+    Runs the committed job document cold on a throwaway stage store,
+    then re-submits it: every stage hits, so the replay latency is the
+    interactive dedupe path measured by
+    ``benchmarks/test_bench_service.py``.
+    """
+    import tempfile
+    import time
+
+    from repro.core.spec import job_from_dict
+    from repro.experiments.artifact_cache import StageCache
+    from repro.service.orchestrator import run_job
+
+    document = baseline.get("job")
+    if not document:
+        print("warning: BENCH_service.json has no 'job' section; "
+              "re-run benchmarks/test_bench_service.py", file=sys.stderr)
+        return []
+    job = job_from_dict(document)
+    repeats = max(1, int(baseline.get("repeats", 5)))
+    with tempfile.TemporaryDirectory() as td:
+        store = StageCache(td)
+        t0 = time.perf_counter()
+        run_job(job, store=store)
+        cold_s = time.perf_counter() - t0
+        lat = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            outcome = run_job(job, store=store)
+            lat.append(time.perf_counter() - t0)
+            if outcome.cache != "hit":
+                print(f"warning: service replay was {outcome.cache!r}, "
+                      f"not a stage-store hit", file=sys.stderr)
+        lat.sort()
+    hit_s = lat[len(lat) // 2]
+    committed_hit_s = baseline["hit_median_ms"] / 1000.0
+    return [
+        {"stage": "service", "circuit": f"{job.kind}:cold",
+         "committed_s": f"{baseline['cold_s']:.4f}",
+         "current_s": f"{cold_s:.4f}",
+         "delta_percent": round(
+             100.0 * (cold_s - baseline["cold_s"])
+             / baseline["cold_s"], 1)},
+        {"stage": "service", "circuit": f"{job.kind}:hit",
+         "committed_s": f"{committed_hit_s:.4f}",
+         "current_s": f"{hit_s:.4f}",
+         "delta_percent": round(
+             100.0 * (hit_s - committed_hit_s) / committed_hit_s, 1)},
+    ]
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -541,6 +674,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "fleet": (root / "BENCH_fleet.json", _bench_fleet_current),
         "resched": (root / "BENCH_resched.json", _bench_resched_current),
         "suite": (root / "BENCH_suite.json", None),
+        "service": (root / "BENCH_service.json", None),
     }
     # The detection workload is the engine registry's "simulation" stage;
     # accept either spelling.
@@ -586,11 +720,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"warning: {path.name} was recorded with profile "
                   f"{baseline.get('profile')!r}, not 'quick'; deltas are "
                   f"not comparable", file=sys.stderr)
-        if stage == "suite":
-            # The sharded-suite baseline has its own (workers-keyed)
-            # schema — re-measure the committed smoke matrix instead of
-            # the per-circuit loop below.
-            rows.extend(_bench_suite_rows(baseline))
+        if stage in ("suite", "service"):
+            # These baselines have their own schemas (workers-keyed
+            # smoke matrix / committed job document) — re-measure them
+            # instead of the per-circuit loop below.
+            rows.extend(_bench_suite_rows(baseline) if stage == "suite"
+                        else _bench_service_rows(baseline))
             continue
         names = tuple(baseline["circuits"])
         if stage != "fleet":
@@ -810,6 +945,36 @@ def build_parser() -> argparse.ArgumentParser:
                                 "as JSON")
     p_resched.set_defaults(func=cmd_resched)
 
+    p_serve = sub.add_parser(
+        "serve", help="start the HDF-flow service (HTTP/JSON job API "
+                      "over the async orchestrator)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8732)
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent job executor threads (default 2)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="run without the shared stage store (every "
+                              "job recomputes; in-flight dedupe still "
+                              "applies)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="send a job document to a running service")
+    p_submit.add_argument("job", metavar="JOB.json",
+                          help="job document file: {'kind': 'flow'|"
+                               "'suite'|'fleet'|'resched', ...} (see "
+                               "repro.core.spec)")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8732",
+                          help="service base URL (default "
+                               "http://127.0.0.1:8732)")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job finishes and print "
+                               "the result payload")
+    p_submit.add_argument("--stream", action="store_true",
+                          help="stream progress events as they happen "
+                               "(implies --wait)")
+    p_submit.set_defaults(func=cmd_submit)
+
     p_gen = sub.add_parser("generate", help="emit a synthetic .bench circuit")
     p_gen.add_argument("output")
     p_gen.add_argument("--gates", type=int, default=120)
@@ -826,8 +991,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="bench workload to re-measure: all, detection "
                               "(alias: simulation, adds the per-engine "
                               "delta table), schedule, atpg, fleet, "
-                              "resched or suite (unknown names are "
-                              "rejected with the registered list)")
+                              "resched, suite or service (unknown names "
+                              "are rejected with the registered list)")
     p_bench.add_argument("--root", type=Path, default=None,
                          help="directory holding the BENCH_*.json baselines "
                               "(default: the repo root)")

@@ -2,20 +2,10 @@
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import InitVar, dataclass, field
+from dataclasses import dataclass, field
 
 from repro.core.engines import ENGINES
 from repro.monitors.insertion import DEFAULT_COVERAGE_FRACTION
-
-#: Legacy engine keywords that have already warned once this process
-#: (``FlowConfig`` shims warn per attribute, not per construction).
-_WARNED_SHIMS: set[str] = set()
-
-
-def reset_shim_warnings() -> None:
-    """Re-arm the warn-once deprecation shims (test isolation hook)."""
-    _WARNED_SHIMS.clear()
 from repro.monitors.monitor import PAPER_DELAY_FRACTIONS
 from repro.scheduling.setcover import DEFAULT_TIME_LIMIT_S
 from repro.simulation.wave_sim import DEFAULT_INERTIAL_PS
@@ -35,9 +25,7 @@ class FlowConfig:
     Engine selection is per pipeline stage through ``engines`` — a tuple of
     ``(stage, engine)`` pairs validated against
     :data:`repro.core.engines.ENGINES` and normalized in
-    ``__post_init__`` to one entry per engine-bearing stage.  The legacy
-    ``atpg_engine`` / ``simulation_engine`` keywords are deprecated shims
-    that map onto the same registry (and remain readable as attributes).
+    ``__post_init__`` to one entry per engine-bearing stage.
     """
 
     #: Maximum FAST frequency as a multiple of f_nom.
@@ -71,13 +59,7 @@ class FlowConfig:
     #: Coverage targets for Table III style relaxed schedules.
     coverage_targets: tuple[float, ...] = field(default=(0.99, 0.98, 0.95, 0.90))
 
-    #: Deprecated: use ``engines=(("atpg", <name>),)``.
-    atpg_engine: InitVar[str | None] = None
-    #: Deprecated: use ``engines=(("simulation", <name>),)``.
-    simulation_engine: InitVar[str | None] = None
-
-    def __post_init__(self, atpg_engine: str | None,
-                      simulation_engine: str | None) -> None:
+    def __post_init__(self) -> None:
         if self.fast_ratio < 1.0:
             raise ValueError("fast_ratio must be >= 1")
         if not 0.0 <= self.monitor_fraction <= 1.0:
@@ -96,26 +78,11 @@ class FlowConfig:
             if stage in selected and selected[stage] != name:
                 raise ValueError(f"conflicting engines for stage {stage!r}")
             selected[stage] = name
-        for stage, legacy, attr in (("atpg", atpg_engine, "atpg_engine"),
-                                    ("simulation", simulation_engine,
-                                     "simulation_engine")):
-            if legacy is None:
-                continue
-            if attr not in _WARNED_SHIMS:
-                _WARNED_SHIMS.add(attr)
-                warnings.warn(
-                    f"FlowConfig.{attr} is deprecated; use "
-                    f"engines=(({stage!r}, {legacy!r}),) instead",
-                    DeprecationWarning, stacklevel=3)
-            selected.setdefault(stage, legacy)
         resolved = {stage: ENGINES.resolve(stage, name).name
                     for stage, name in selected.items()}
         for stage in ENGINES.stages():
             resolved.setdefault(stage, ENGINES.default(stage))
         self.engines = tuple(sorted(resolved.items()))
-        # Back-compat read accessors for the deprecated fields.
-        self.atpg_engine = resolved["atpg"]
-        self.simulation_engine = resolved["simulation"]
 
     def engine_for(self, stage: str) -> str:
         """Selected engine name for ``stage`` (registry default if unset)."""

@@ -1,14 +1,13 @@
 """Engine registry: one place for every ``engine="..."`` switch.
 
-PRs 1/3/4 each grew their own engine toggle — ``FlowConfig.atpg_engine``
-for the word-matrix vs seed big-int ATPG grading, ``simulation_engine``
-for the event-driven vs full-cone-resweep fault simulation, and the
-retained seed scheduling pipeline in :mod:`repro.scheduling.reference`.
-This module unifies them: an :class:`EngineRegistry` maps ``(stage,
-engine-name)`` to an adapter callable, each stage declares exactly one
-default, and :class:`repro.core.config.FlowConfig` selects engines
-per stage through its ``engines`` field (the legacy ``atpg_engine`` /
-``simulation_engine`` fields survive as deprecation shims).
+Earlier PRs each grew their own engine toggle — one for the word-matrix
+vs seed big-int ATPG grading, one for the event-driven vs
+full-cone-resweep fault simulation, and the retained seed scheduling
+pipeline in :mod:`repro.scheduling.reference`.  This module unifies
+them: an :class:`EngineRegistry` maps ``(stage, engine-name)`` to an
+adapter callable, each stage declares exactly one default, and
+:class:`repro.core.config.FlowConfig` selects engines per stage through
+its ``engines`` field — a tuple of ``(stage, engine)`` pairs.
 
 The registry is also the single source of truth for *validation*: unknown
 stage or engine names raise immediately with the registered alternatives

@@ -91,6 +91,38 @@ def alert_stream_for_state(circuit, state, *,
         gates=state.gate_faults.keys())
 
 
+def replay_alert_events(state, alerts, engine, *,
+                        progress=None) -> tuple[list[dict], dict]:
+    """Replay ``alerts`` against one state with one resched engine.
+
+    The CLI/service replay loop (``repro resched`` and the facade's
+    resched executor share it): returns the per-alert event records and
+    the latency summary.  ``progress`` receives each event as it lands.
+    """
+    events: list[dict] = []
+    for k, delta in enumerate(alerts):
+        out = engine.fn(state, delta)
+        sched = out.schedule
+        path = out.fast_path or out.stats.get("step1_path", "?")
+        event = {
+            "alert": k, "gates": sorted(delta.gates),
+            "ms": round(1000.0 * out.seconds, 3), "path": path,
+            "frequencies": sched.num_frequencies,
+            "entries": sched.num_entries, "covered": len(sched.covered),
+        }
+        events.append(event)
+        if progress is not None:
+            progress(event)
+    lat = sorted(e["ms"] for e in events)
+    summary = {
+        "alerts": len(events),
+        "median_ms": round(lat[len(lat) // 2], 3) if lat else 0.0,
+        "max_ms": max(lat) if lat else 0.0,
+        "total_s": round(sum(lat) / 1000.0, 4),
+    }
+    return events, summary
+
+
 def replay_result(res, *, spec: ScenarioSpec = DEFAULT_SPEC,
                   checkpoints=ALERT_CHECKPOINTS,
                   max_gates: int = 1) -> ReschedReplay:

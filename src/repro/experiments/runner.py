@@ -95,6 +95,20 @@ class SuiteRunConfig:
         return replace(base, **overrides)  # type: ignore[arg-type]
 
 
+def run_suite_job(job, *, progress: bool = False,
+                  timer: "StageTimer | None" = None,
+                  recompute_from: tuple[str, ...] = ()
+                  ) -> dict[str, FlowResult]:
+    """Execute a declarative :class:`repro.core.spec.SuiteJob` in-process.
+
+    The facade's suite path (:func:`repro.service.orchestrator.run_job`):
+    the job's semantic fields map onto one :class:`SuiteRunConfig` and
+    run through the same three-level cache as every direct caller.
+    """
+    return run_suite(job.run_config(), progress=progress, timer=timer,
+                     recompute_from=recompute_from)
+
+
 @dataclass
 class _CacheEntry:
     results: dict[str, FlowResult] = field(default_factory=dict)

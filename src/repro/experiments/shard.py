@@ -300,7 +300,18 @@ def timed_plan(specs: Sequence[TimedStage], *, nonce: str,
 # Claim board: lock-free unit claims in the shared store
 # ----------------------------------------------------------------------
 class _Heartbeat:
-    """Daemon thread refreshing a claim's mtime while its stage runs."""
+    """Thread refreshing a claim's mtime while its stage runs.
+
+    Lifecycle is explicit: :meth:`cancel` stops the thread and joins it,
+    so long-lived processes (the service orchestrator's workers) never
+    accumulate heartbeat threads across units.  Threads are named
+    ``repro-heartbeat-*`` so leaks are observable, and a heartbeat whose
+    claim has vanished (released, or stolen after a stall) terminates
+    itself on the next tick instead of spinning until process exit.
+    """
+
+    #: Live-thread name prefix (regression tests count against this).
+    THREAD_PREFIX = "repro-heartbeat"
 
     def __init__(self, board: "ClaimBoard", key: str) -> None:
         self._board = board
@@ -308,19 +319,38 @@ class _Heartbeat:
         self._stop = threading.Event()
         interval = max(0.05, board.ttl / 4.0)
         self._thread = threading.Thread(
-            target=self._run, args=(interval,), daemon=True)
+            target=self._run, args=(interval,), daemon=True,
+            name=f"{self.THREAD_PREFIX}-{key[:12]}")
 
     def _run(self, interval: float) -> None:
         while not self._stop.wait(interval):
-            self._board.refresh(self._key)
+            if not self._board.refresh(self._key):
+                return  # claim gone (released or stolen): stop refreshing
 
     def start(self) -> "_Heartbeat":
         self._thread.start()
         return self
 
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
     def cancel(self) -> None:
+        """Stop and join the refresher (idempotent).
+
+        The join is bounded only to survive a pathologically hung
+        ``os.utime`` (network filesystems); the thread observes the stop
+        event within one wait slice, so the join normally returns in
+        microseconds.
+        """
         self._stop.set()
-        self._thread.join(timeout=1.0)
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "_Heartbeat":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cancel()
 
 
 class ClaimBoard:
@@ -365,12 +395,17 @@ class ClaimBoard:
         except OSError:
             pass
 
-    def refresh(self, key: str) -> None:
-        """Heartbeat: bump the claim's mtime (missing claims are ignored)."""
+    def refresh(self, key: str) -> bool:
+        """Heartbeat: bump the claim's mtime.
+
+        Returns False when the claim no longer exists (released or
+        stolen) so the heartbeat thread can retire itself.
+        """
         try:
             os.utime(self._path(key))
         except OSError:
-            pass
+            return False
+        return True
 
     def age(self, key: str) -> float | None:
         """Seconds since the claim's last heartbeat, or None if absent."""
@@ -471,13 +506,15 @@ def drain_units(plan: ShardPlan, store: StageCache, board: ClaimBoard, *,
                 stats.hits += 1
                 advanced = True
                 continue
-            beat = board.heartbeat(key)
             t0 = time.perf_counter()
             try:
-                artifact = execute(unit)
-                store.store(key, artifact)
+                # The context manager stops *and joins* the heartbeat on
+                # unit completion (or failure) before the claim is
+                # released — no thread outlives its unit.
+                with board.heartbeat(key):
+                    artifact = execute(unit)
+                    store.store(key, artifact)
             finally:
-                beat.cancel()
                 board.release(key)
             stats.credit(unit.stage, time.perf_counter() - t0)
             done.add(key)
@@ -622,3 +659,19 @@ def run_suite_sharded(config: SuiteRunConfig | None = None, *,
         results[name] = result
     return ShardReport(results=results, stats=stats,
                        workers=max(1, int(workers)), wall_s=wall)
+
+
+def run_suite_sharded_job(job, *, store: StageCache | None = None,
+                          ttl: float | None = None,
+                          progress: bool = False,
+                          timer: StageTimer | None = None) -> ShardReport:
+    """Execute a declarative :class:`repro.core.spec.SuiteJob`, sharded.
+
+    The facade's sharded-suite path
+    (:func:`repro.service.orchestrator.run_job`): the job's semantic
+    fields become the :class:`SuiteRunConfig`, its non-semantic
+    ``workers`` field sizes the cooperating process pool.
+    """
+    return run_suite_sharded(job.run_config(),
+                             workers=job.workers or 1, store=store,
+                             ttl=ttl, progress=progress, timer=timer)

@@ -1,0 +1,30 @@
+"""HDF-flow-as-a-service: job orchestration over the stage store.
+
+The service subsystem executes declarative :mod:`repro.core.spec` job
+documents:
+
+* :mod:`repro.service.orchestrator` — the synchronous execution facade
+  (:func:`~repro.service.orchestrator.run_job`, the single code path
+  behind every CLI verb) plus the asyncio
+  :class:`~repro.service.orchestrator.Orchestrator` that queues jobs,
+  dedupes identical fingerprints and streams progress events;
+* :mod:`repro.service.server` — a stdlib-only HTTP/JSON API (submit,
+  status, stream, result, cancel) behind ``repro serve`` /
+  ``repro submit``.
+"""
+
+from repro.service.orchestrator import (
+    JobOutcome,
+    JobRecord,
+    Orchestrator,
+    resolve_circuit,
+    run_job,
+)
+
+__all__ = [
+    "JobOutcome",
+    "JobRecord",
+    "Orchestrator",
+    "resolve_circuit",
+    "run_job",
+]

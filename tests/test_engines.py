@@ -6,16 +6,8 @@ import warnings
 
 import pytest
 
-from repro.core.config import FlowConfig, reset_shim_warnings
+from repro.core.config import FlowConfig
 from repro.core.engines import ENGINES, EngineRegistry
-
-
-@pytest.fixture(autouse=True)
-def _fresh_shim_warnings():
-    """The shims warn once per process; re-arm them per test."""
-    reset_shim_warnings()
-    yield
-    reset_shim_warnings()
 
 
 class TestRegistry:
@@ -95,49 +87,27 @@ class TestFlowConfigSelection:
             FlowConfig(engines=(("atpg", "matrix"), ("atpg", "reference")))
 
 
-class TestDeprecatedShims:
-    def test_atpg_engine_warns_and_maps(self):
-        with pytest.warns(DeprecationWarning, match="atpg_engine"):
-            cfg = FlowConfig(atpg_engine="reference")
-        assert cfg.engine_for("atpg") == "reference"
-        assert cfg.atpg_engine == "reference"  # attribute stays readable
-
-    def test_simulation_engine_warns_and_maps(self):
-        with pytest.warns(DeprecationWarning, match="simulation_engine"):
-            cfg = FlowConfig(simulation_engine="reference")
-        assert cfg.engine_for("simulation") == "reference"
-        assert cfg.simulation_engine == "reference"
-
-    def test_explicit_engines_beat_the_shim(self):
-        with pytest.warns(DeprecationWarning):
-            cfg = FlowConfig(engines=(("atpg", "matrix"),),
-                             atpg_engine="reference")
-        assert cfg.engine_for("atpg") == "matrix"
-
-    def test_resolved_attributes_without_shim(self):
-        cfg = FlowConfig()
-        assert cfg.atpg_engine == "matrix"
-        assert cfg.simulation_engine == "wordwave"
-
-    def test_shim_warns_once_per_process(self):
-        with pytest.warns(DeprecationWarning, match="atpg_engine"):
+class TestShimsRemoved:
+    def test_legacy_keywords_rejected(self):
+        """The PR-5/7 deprecation shims are gone: the legacy keywords
+        fail construction instead of warning."""
+        with pytest.raises(TypeError, match="atpg_engine"):
             FlowConfig(atpg_engine="reference")
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            cfg = FlowConfig(atpg_engine="reference")  # silent repeat
-        assert cfg.engine_for("atpg") == "reference"
-        # Each shim attribute warns independently.
-        with pytest.warns(DeprecationWarning, match="simulation_engine"):
+        with pytest.raises(TypeError, match="simulation_engine"):
             FlowConfig(simulation_engine="reference")
 
+    def test_no_legacy_attributes(self):
+        cfg = FlowConfig()
+        assert not hasattr(cfg, "atpg_engine")
+        assert not hasattr(cfg, "simulation_engine")
 
-class TestNoInternalDeprecationUse:
-    def test_internal_flow_paths_are_shim_free(self, s27):
-        """No internal caller constructs FlowConfig via the legacy shims.
+
+class TestNoDeprecationWarnings:
+    def test_internal_flow_paths_are_warning_free(self, s27):
+        """No internal caller relies on removed legacy spellings.
 
         Runs the monolith flow and the staged pipeline end to end with
-        DeprecationWarnings escalated to errors: only *user* code passing
-        ``atpg_engine=``/``simulation_engine=`` may trigger the shim.
+        DeprecationWarnings escalated to errors.
         """
         from repro.core.flow import HdfTestFlow
 

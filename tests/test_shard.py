@@ -212,6 +212,65 @@ class TestDrain:
 
 
 # ----------------------------------------------------------------------
+# Heartbeat thread lifecycle
+# ----------------------------------------------------------------------
+def _live_heartbeat_threads() -> list[str]:
+    import threading
+
+    from repro.experiments.shard import _Heartbeat
+
+    return [t.name for t in threading.enumerate()
+            if t.name.startswith(_Heartbeat.THREAD_PREFIX)]
+
+
+class TestHeartbeatLifecycle:
+    def test_drain_leaves_no_heartbeat_threads(self, tmp_path):
+        # Regression: heartbeats used to run as fire-and-forget daemon
+        # threads that outlived their unit; a long-lived process (the
+        # service orchestrator) would accumulate one per drained unit.
+        store = StageCache(tmp_path)
+        plan = timed_plan([TimedStage(f"c{i}", s, 0.001)
+                           for i in range(3) for s in STAGES],
+                          nonce="hb-drain")
+        board = ClaimBoard.for_store(store, ttl=0.2, worker="hb")
+        stats = drain_units(plan, store, board, poll=0.01)
+        assert stats.computed == len(plan.units)
+        assert _live_heartbeat_threads() == []
+
+    def test_cancel_stops_and_joins(self, tmp_path):
+        board = ClaimBoard(tmp_path / "claims", ttl=0.2, worker="a")
+        board.try_claim("k1")
+        beat = board.heartbeat("k1")
+        assert beat.alive
+        assert _live_heartbeat_threads()
+        beat.cancel()
+        beat.cancel()  # idempotent
+        assert not beat.alive
+        assert _live_heartbeat_threads() == []
+
+    def test_context_manager_cancels_on_error(self, tmp_path):
+        board = ClaimBoard(tmp_path / "claims", ttl=0.2, worker="a")
+        board.try_claim("k1")
+        with pytest.raises(RuntimeError):
+            with board.heartbeat("k1") as beat:
+                assert beat.alive
+                raise RuntimeError("unit failed")
+        assert not beat.alive
+
+    def test_released_claim_retires_the_thread(self, tmp_path):
+        # A heartbeat whose claim vanished (released, or stolen after a
+        # stall) must terminate on its own instead of spinning forever.
+        board = ClaimBoard(tmp_path / "claims", ttl=0.2, worker="a")
+        board.try_claim("k1")
+        beat = board.heartbeat("k1")
+        board.release("k1")
+        deadline = time.time() + 2.0
+        while beat.alive and time.time() < deadline:
+            time.sleep(0.02)
+        assert not beat.alive
+
+
+# ----------------------------------------------------------------------
 # Fork driver: crash recovery
 # ----------------------------------------------------------------------
 @pytest.mark.skipif("fork" not in __import__("multiprocessing")
